@@ -1,0 +1,17 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one table/figure of the paper and prints the
+series it reproduces (run with ``-s`` to see the tables).  Scale knobs:
+
+- ``REPRO_ROUNDS`` — FL rounds for Figs. 6-9 (default 40; paper 1000)
+- ``REPRO_TRIALS`` — Raft trials per timeout for Figs. 10-12
+  (default 25; paper 1000)
+- ``REPRO_PEERS``  — peers for Figs. 6-9 (defaults 10 / 20, as in the paper)
+"""
+
+from __future__ import annotations
+
+
+def emit(text: str) -> None:
+    """Print a result table under the benchmark output."""
+    print("\n" + text)

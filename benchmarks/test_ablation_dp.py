@@ -1,0 +1,50 @@
+"""Ablation — differential privacy on top of SAC (paper Sec. IV-D).
+
+"Other techniques such as Differential Privacy could be used to add
+noise to the weight of each peer."  This bench quantifies the
+accuracy/privacy trade-off the paper defers: per-peer Gaussian noise at
+several epsilon budgets, everything else as in the Fig. 6 setup.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.core import SessionConfig, run_session
+from repro.data import synthetic_blobs
+from repro.nn import mlp_classifier
+
+
+def test_dp_accuracy_tradeoff(benchmark):
+    dataset = synthetic_blobs(
+        n_train=1000, n_test=250, n_features=16, rng=np.random.default_rng(0),
+        separation=2.5,
+    )
+
+    def factory(rng):
+        return mlp_classifier(16, rng=rng, hidden=(24,))
+
+    def sweep():
+        out = {}
+        # clip_norm ~ the model's natural weight norm, so clipping is
+        # mild and epsilon alone controls the noise.
+        for eps in (None, 2000.0, 200.0, 20.0):
+            cfg = SessionConfig(
+                n_peers=6, rounds=15, group_size=3, threshold=2,
+                lr=1e-2, seed=0,
+                dp_epsilon=eps, dp_clip_norm=20.0,
+            )
+            history = run_session(factory, dataset, cfg)
+            out[eps] = history.final_accuracy(tail=3)
+        return out
+
+    accs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["DP ablation — final accuracy vs per-round epsilon",
+             f"  {'epsilon':>9}{'accuracy':>10}"]
+    for eps, acc in accs.items():
+        label = "off" if eps is None else f"{eps:g}"
+        lines.append(f"  {label:>9}{acc:>10.2%}")
+    emit("\n".join(lines))
+    # Noise erodes accuracy as epsilon shrinks.
+    assert accs[None] >= accs[200.0] - 0.02
+    assert accs[2000.0] > accs[20.0]
+    assert accs[20.0] < accs[None]

@@ -1,0 +1,50 @@
+"""Sec. VII-D — Monte Carlo validation of the fault-tolerance thresholds.
+
+Random f-crash availability curve for the paper's N=25, n=5 topology,
+checked against the closed-form guarantees: full availability up to the
+guaranteed threshold, zero once the FedAvg layer must lose its majority.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis import (
+    fedavg_layer_tolerance,
+    optimistic_max_faults,
+    subgroup_tolerance,
+    system_operational,
+    tolerance_curve,
+)
+from repro.core import Topology
+
+TOPO = Topology.by_group_count(25, 5)
+
+
+def test_fault_tolerance_monte_carlo(benchmark):
+    curve = benchmark.pedantic(
+        tolerance_curve,
+        args=(TOPO, np.random.default_rng(0)),
+        kwargs={"trials_per_point": 300},
+        rounds=1,
+        iterations=1,
+    )
+    lines = ["Sec. VII-D — availability vs random crashes (N=25, n=5)",
+             f"  guaranteed per-subgroup tolerance: {subgroup_tolerance(5)}",
+             f"  FedAvg-layer tolerance: {fedavg_layer_tolerance(5)}",
+             f"  optimistic bound (followers only): {optimistic_max_faults(5, 5)}",
+             f"  {'f':>4}{'available':>11}"]
+    for f, frac in curve:
+        if f % 2 == 0:
+            lines.append(f"  {f:>4}{frac:>10.0%}")
+    emit("\n".join(lines))
+
+    by_f = dict(curve)
+    # Up to min(subgroup, fedavg) tolerance = 2, ANY crash set survives.
+    assert by_f[0] == 1.0 and by_f[1] == 1.0 and by_f[2] == 1.0
+    # The optimistic bound is achievable with follower-only crashes.
+    followers = {p for g in TOPO.groups for p in g[1:]}
+    crash_15 = set(list(followers)[:15])
+    assert system_operational(TOPO, crash_15)
+    # Availability decays towards zero as crashes approach N.
+    assert by_f[25] == 0.0
+    assert by_f[20] < by_f[5]

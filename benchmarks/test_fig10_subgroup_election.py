@@ -1,0 +1,26 @@
+"""Fig. 10 — time to detect a crashed subgroup leader and elect a new one.
+
+Paper (N=25, n=5, 15 ms delay, 1000 trials): means 214.30 / 401.04 /
+580.74 / 749.07 ms for U(T,2T) with T = 50 / 100 / 150 / 200 — about
+twice the maximum follower timeout.
+"""
+
+from conftest import emit
+
+from repro.experiments import format_recovery_table, run_fig10
+
+
+def test_fig10_subgroup_leader_election(benchmark):
+    stats = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    emit(format_recovery_table(stats, "Fig. 10 — subgroup leader re-election"))
+
+    means = {s.timeout_base_ms: s.mean_ms for s in stats}
+    # Monotone in the timeout base, as in the figure.
+    assert means[50.0] < means[100.0] < means[150.0] < means[200.0]
+    # "About twice the maximum follower timeout" (paper's own reading):
+    # the mean lands in [2T, 6T] for every T.
+    for base, mean in means.items():
+        assert 2 * base < mean < 6 * base
+    # Within 25% of the paper's absolute means.
+    for s in stats:
+        assert abs(s.mean_ms - s.paper_mean_ms) / s.paper_mean_ms < 0.25

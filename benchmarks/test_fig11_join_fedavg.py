@@ -1,0 +1,29 @@
+"""Fig. 11 — Fig. 10 plus the new leader joining the FedAvg group.
+
+Paper: +122.98 / +125.8 / +144.70 / +166.09 ms over Fig. 10 for the four
+timeout ranges; the downtime stays far below one FL round.
+"""
+
+from conftest import emit
+
+from repro.experiments import format_recovery_table, run_fig10, run_fig11
+
+
+def test_fig11_join_fedavg_group(benchmark):
+    stats11 = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+    stats10 = run_fig10()
+    emit(format_recovery_table(stats11, "Fig. 11 — re-election + FedAvg join"))
+
+    m10 = {s.timeout_base_ms: s.mean_ms for s in stats10}
+    m11 = {s.timeout_base_ms: s.mean_ms for s in stats11}
+    deltas = {base: m11[base] - m10[base] for base in m10}
+    emit(
+        "join delta over Fig. 10 per T: "
+        + ", ".join(f"T={int(b)}: +{d:.1f}ms" for b, d in sorted(deltas.items()))
+        + " (paper: +123.0 / +125.8 / +144.7 / +166.1)"
+    )
+    # Joining costs extra but bounded time (paper: 120-170 ms).
+    for base, delta in deltas.items():
+        assert 20.0 < delta < 250.0
+    # Same monotone trend as Fig. 10.
+    assert m11[50.0] < m11[100.0] < m11[150.0] < m11[200.0]

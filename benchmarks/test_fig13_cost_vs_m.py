@@ -1,0 +1,26 @@
+"""Fig. 13 — total communication cost per aggregation vs. m (N = 30).
+
+Paper: 7.12 Gb at m = 6 (about one-tenth of one-layer SAC); the cost
+stops improving for m >= 10 (n <= 3).
+"""
+
+import pytest
+from conftest import emit
+
+from repro.experiments import format_fig13, run_fig13
+
+
+def test_fig13_cost_vs_group_count(benchmark):
+    points = benchmark(run_fig13)
+    emit(format_fig13(points))
+
+    by_m = {int(p.x): p.gigabits for p in points}
+    # The paper's headline number at m=6.
+    assert by_m[6] == pytest.approx(7.12, abs=0.01)
+    # ~10x below the m=1 (one-layer) cost.
+    assert 8.0 < by_m[1] / by_m[6] < 12.0
+    # Cost decreases sharply from m=1 to m=6 ...
+    assert by_m[1] > by_m[2] > by_m[3] > by_m[6]
+    # ... and stops decreasing meaningfully for m >= 10 (n <= 3).
+    assert by_m[10] < by_m[6]
+    assert min(by_m[m] for m in range(10, 31)) > 0.3 * by_m[10]

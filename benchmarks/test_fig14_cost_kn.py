@@ -1,0 +1,37 @@
+"""Fig. 14 — cost per aggregation under k-n settings vs. the SAC baseline.
+
+Paper headline ratios (at N = 30): 14.75x for 3-3, 10.36x for 2-3,
+4.29x for 3-5; baseline at N = 50 costs 196.13 Gb vs 8.24 Gb for 3-3.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.experiments import format_fig14, run_fig14
+
+
+def test_fig14_cost_under_kn_settings(benchmark):
+    series = benchmark(run_fig14)
+    emit(format_fig14(series))
+
+    base = {int(p.x): p.gigabits for p in series["baseline (n=N)"]}
+    s33 = {int(p.x): p.gigabits for p in series["3-3"]}
+    s23 = {int(p.x): p.gigabits for p in series["2-3"]}
+    s55 = {int(p.x): p.gigabits for p in series["5-5"]}
+    s35 = {int(p.x): p.gigabits for p in series["3-5"]}
+
+    # Exact paper ratios at N = 30.
+    assert base[30] / s23[30] == pytest.approx(10.36, abs=0.01)
+    assert base[30] / s33[30] == pytest.approx(14.75, abs=0.01)
+    assert base[30] / s35[30] == pytest.approx(4.29, abs=0.01)
+    # Baseline at N = 50 (Sec. VII-B).
+    assert base[50] == pytest.approx(196.13, abs=0.01)
+    # Fault tolerance costs more than plain n-out-of-n, but every
+    # two-layer setting beats the baseline at every N.
+    for n_total in (10, 20, 30, 40, 50):
+        assert s23[n_total] > s33[n_total]
+        assert s35[n_total] > s55[n_total]
+        for setting in (s33, s23, s55, s35):
+            assert setting[n_total] < base[n_total]
+    # The advantage grows with N (scalability).
+    assert base[50] / s33[50] > base[10] / s33[10]

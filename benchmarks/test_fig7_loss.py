@@ -1,0 +1,31 @@
+"""Fig. 7 — training loss for the Fig. 6 setting.
+
+The two-layer and baseline loss curves coincide; loss decreases over
+training in every setting.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import run_fig6_fig7
+
+
+def test_fig7_training_loss(benchmark):
+    runs = benchmark.pedantic(run_fig6_fig7, rounds=1, iterations=1)
+
+    lines = ["Fig. 7 — training loss (first -> last round, moving avg)"]
+    for r in runs:
+        ma = r.history.train_loss_ma(10)
+        lines.append(
+            f"  {r.label:<18}{r.distribution:<12}{ma[0]:>8.4f} -> {ma[-1]:>8.4f}"
+        )
+    emit("\n".join(lines))
+
+    by = {(r.label, r.distribution): r for r in runs}
+    for dist in ("iid", "noniid-5", "noniid-0"):
+        base = by[("baseline n=N", dist)].history.train_loss
+        two = by[("two-layer n=3", dist)].history.train_loss
+        np.testing.assert_allclose(two, base, rtol=1e-4)
+        # Training converges: the loss moving average must drop.
+        ma = by[("two-layer n=3", dist)].history.train_loss_ma(10)
+        assert ma[-1] < ma[0]

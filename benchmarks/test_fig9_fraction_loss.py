@@ -1,0 +1,27 @@
+"""Fig. 9 — training loss under partial subgroup participation."""
+
+from conftest import emit
+
+from repro.experiments import run_fig8_fig9
+
+
+def test_fig9_fraction_loss(benchmark):
+    runs = benchmark.pedantic(run_fig8_fig9, rounds=1, iterations=1)
+
+    lines = ["Fig. 9 — training loss (first -> last round, moving avg)"]
+    for r in runs:
+        ma = r.history.train_loss_ma(10)
+        lines.append(
+            f"  {r.label:<8}{r.distribution:<12}{ma[0]:>8.4f} -> {ma[-1]:>8.4f}"
+        )
+    emit("\n".join(lines))
+
+    by = {(r.label, r.distribution): r for r in runs}
+    for dist in ("iid", "noniid-5", "noniid-0"):
+        for p in ("p=0.5", "p=1.0"):
+            ma = by[(p, dist)].history.train_loss_ma(10)
+            assert ma[-1] < ma[0]  # training converges at both fractions
+    # The p=0.5 loss stays in the same ballpark as p=1 (IID case).
+    full = by[("p=1.0", "iid")].history.train_loss_ma(10)[-1]
+    half = by[("p=0.5", "iid")].history.train_loss_ma(10)[-1]
+    assert half < full * 3 + 0.5

@@ -1,0 +1,47 @@
+"""Microbenchmarks — SAC arithmetic at the paper's model size.
+
+Not a paper figure: performance characterization of the substrate (the
+HPC guides' "measure before optimizing").  One SAC round over the
+1.25M-parameter weight vector, functional and fault-tolerant forms.
+"""
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.fl import fedavg
+from repro.nn.zoo import PAPER_CNN_PARAMS
+from repro.secure import fault_tolerant_sac, sac_average
+
+N_PEERS = 5
+
+
+@pytest.fixture(scope="module")
+def peer_models():
+    rng = np.random.default_rng(0)
+    return [rng.normal(size=PAPER_CNN_PARAMS) for _ in range(N_PEERS)]
+
+
+def test_sac_round_throughput(benchmark, peer_models):
+    rng = np.random.default_rng(1)
+    result = benchmark(sac_average, peer_models, rng)
+    np.testing.assert_allclose(
+        result.average, np.mean(peer_models, axis=0), rtol=1e-8
+    )
+    emit(f"one-layer SAC round, {N_PEERS} peers x {PAPER_CNN_PARAMS:,} params")
+
+
+def test_ft_sac_round_throughput(benchmark, peer_models):
+    rng = np.random.default_rng(2)
+    result = benchmark(fault_tolerant_sac, peer_models, 3, rng)
+    np.testing.assert_allclose(
+        result.average, np.mean(peer_models, axis=0), rtol=1e-8
+    )
+    emit(f"3-out-of-{N_PEERS} SAC round at {PAPER_CNN_PARAMS:,} params")
+
+
+def test_fedavg_throughput(benchmark, peer_models):
+    weights = [float(i + 1) for i in range(N_PEERS)]
+    out = benchmark(fedavg, peer_models, weights)
+    assert out.shape == (PAPER_CNN_PARAMS,)
+    emit(f"FedAvg over {N_PEERS} x {PAPER_CNN_PARAMS:,}-param models")

@@ -1,0 +1,11 @@
+"""Table I — the evaluation environment report."""
+
+from conftest import emit
+
+from repro.experiments import environment_report, format_table1
+
+
+def test_table1_environment(benchmark):
+    report = benchmark(environment_report)
+    assert "CPU" in report
+    emit(format_table1(report))

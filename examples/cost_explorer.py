@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Communication-cost explorer — plan a deployment with the Sec. VII models.
+
+Given a peer count and a dropout-tolerance requirement, sweeps subgroup
+configurations and reports the cheapest ones, reproducing the paper's
+Fig. 13 / Fig. 14 trade-off analysis for your own parameters.
+
+Run:  python examples/cost_explorer.py [N] [faults_per_subgroup]
+"""
+
+import sys
+
+from repro.core import (
+    Topology,
+    one_layer_sac_cost_bits,
+    two_layer_ft_cost_from_topology,
+)
+from repro.nn.zoo import PAPER_CNN_PARAMS
+
+
+def main() -> None:
+    n_total = int(sys.argv[1]) if len(sys.argv) > 1 else 30
+    tolerate = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    w = PAPER_CNN_PARAMS
+
+    baseline = one_layer_sac_cost_bits(n_total, w)
+    print(f"Planning for N={n_total} peers, Fig. 5 CNN ({w:,} params), "
+          f"tolerating {tolerate} dropout(s) per subgroup during SAC")
+    print(f"One-layer SAC baseline: {baseline / 1e9:.2f} Gb per round\n")
+
+    rows = []
+    for n in range(3, min(n_total, 12) + 1):  # n >= 3 for SAC privacy
+        k = n - tolerate
+        if k < 2:
+            continue  # k=1 would hand every peer the full set of shares
+        topo = Topology.by_group_size(n_total, n)
+        if min(topo.group_sizes) < n:
+            continue
+        cost = two_layer_ft_cost_from_topology(topo, k, w)
+        rows.append((n, k, topo.n_groups, cost))
+
+    rows.sort(key=lambda r: r[3])
+    print(f"{'n':>4}{'k':>4}{'m':>4}{'Gb/round':>10}{'vs baseline':>13}")
+    for n, k, m, cost in rows:
+        print(f"{n:>4}{k:>4}{m:>4}{cost / 1e9:>10.2f}{baseline / cost:>12.2f}x")
+
+    best = rows[0]
+    print(f"\nBest: subgroups of n={best[0]} with k={best[1]} "
+          f"({best[2]} subgroups): {best[3] / 1e9:.2f} Gb per round, "
+          f"{baseline / best[3]:.2f}x cheaper than one-layer SAC.")
+
+
+if __name__ == "__main__":
+    main()

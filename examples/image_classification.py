@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""The paper's image-classification workload, end to end (mini scale).
+
+Trains the Fig. 5 CNN block structure on synthetic CIFAR-10-shaped data
+across 6 peers with two-layer SAC under the non-IID(5%) distribution —
+the exact pipeline behind Figs. 6-7, scaled to run in about a minute.
+
+Run:  python examples/image_classification.py
+"""
+
+import numpy as np
+
+from repro.core import SessionConfig, run_session
+from repro.data import synthetic_cifar10
+from repro.nn import small_cnn
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    dataset = synthetic_cifar10(n_train=900, n_test=200, rng=rng)
+    print(f"Dataset: {dataset.name}, {dataset.n_train} train / "
+          f"{dataset.n_test} test, shape {dataset.sample_shape}")
+
+    def model_factory(r: np.random.Generator):
+        return small_cnn(r, in_channels=3, in_hw=32, n_classes=10)
+
+    n_params = model_factory(np.random.default_rng(0)).n_params
+    print(f"Model: Fig. 5 block structure at reduced width "
+          f"({n_params:,} params)\n")
+
+    config = SessionConfig(
+        n_peers=6,
+        rounds=8,
+        aggregator="two-layer",
+        group_size=3,
+        threshold=2,
+        distribution="noniid-5",   # 95% of each peer's data from 2 classes
+        lr=1e-3,
+        batch_size=50,
+        seed=1,
+    )
+    history = run_session(
+        model_factory, dataset, config,
+        on_round=lambda m: print(
+            f"  round {m.round}: accuracy {m.test_accuracy:.2%}, "
+            f"train loss {m.train_loss:.4f}"
+        ),
+    )
+    print(f"\nFinal accuracy after {config.rounds} rounds: "
+          f"{history.final_accuracy(tail=2):.2%}")
+    print(f"Total aggregation traffic: {history.comm_bits.sum() / 1e9:.2f} Gb")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""What does a semi-honest peer actually see? Sharing schemes compared.
+
+Shares one peer's "model" under three constructions and shows what an
+adversarial recipient observes: the paper's Alg. 1 (fractions of the
+secret — leaky), zero-sum masking, and fixed-point ring sharing
+(uniformly random — perfectly hiding). Then runs a full SAC round under
+the ring construction to show the average is still recovered exactly.
+
+Run:  python examples/privacy_comparison.py
+"""
+
+import numpy as np
+
+from repro.analysis.privacy import (
+    estimate_leaked_bits,
+    ring_share_correlation,
+    share_secret_correlation,
+    sign_leakage,
+)
+from repro.secure import (
+    divide,
+    divide_zero_sum,
+    sac_average_fixed_point,
+)
+from repro.secure.fixed_point import divide_ring, encode_fixed_point
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    secret = np.array([0.82, -1.47, 0.05, 2.31])
+    print(f"Alice's secret model slice: {secret}\n")
+
+    print("One share as received by Bob, under each scheme:")
+    alg1 = divide(secret, 3, rng)[0]
+    print(f"  Alg.1 (paper)     : {np.round(alg1, 3)}   <- same signs, scaled copy!")
+    masked = divide_zero_sum(secret, 3, rng)[0]
+    print(f"  zero-sum masking  : {np.round(masked, 3)}   <- pure noise")
+    ring = divide_ring(encode_fixed_point(secret), 3, rng)[0]
+    print(f"  fixed-point ring  : {ring}   <- uniform over Z_2^64\n")
+
+    print("Statistical leakage of one received share (2000 sharings):")
+    rho1 = share_secret_correlation(divide, 3, np.random.default_rng(0))
+    rho2 = share_secret_correlation(divide_zero_sum, 3, np.random.default_rng(0))
+    rho3 = ring_share_correlation(3, np.random.default_rng(0))
+    sign = sign_leakage(3, np.random.default_rng(0))
+    print(f"  Alg.1   : corr={rho1:+.3f}  (~{estimate_leaked_bits(rho1):.2f} bits/coord, "
+          f"sign revealed {sign:.0%} of the time)")
+    print(f"  zero-sum: corr={rho2:+.3f}  (~{estimate_leaked_bits(rho2):.3f} bits/coord)")
+    print(f"  ring    : corr={rho3:+.3f}  (~{estimate_leaked_bits(rho3):.3f} bits/coord)\n")
+
+    models = [np.random.default_rng(i).normal(size=6) for i in range(4)]
+    avg = sac_average_fixed_point(models, np.random.default_rng(1), frac_bits=24)
+    true = np.mean(models, axis=0)
+    print("SAC over the hiding ring construction still recovers the average:")
+    print(f"  ring-SAC average : {np.round(avg, 6)}")
+    print(f"  true average     : {np.round(true, 6)}")
+    print(f"  max |error|      : {np.abs(avg - true).max():.2e} "
+          f"(quantization only)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Quickstart — train a P2P federated model with two-layer secure aggregation.
+
+Builds a 12-peer network split into subgroups of 3, trains a classifier
+on synthetic data for 15 communication rounds with fault-tolerant
+2-out-of-3 SAC inside subgroups and FedAvg across subgroup leaders, and
+compares the communication bill against one-layer SAC.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import SessionConfig, one_layer_sac_cost_bits, run_session
+from repro.data import synthetic_blobs
+from repro.nn import mlp_classifier, paper_cnn_cifar10
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # The model the paper evaluates (Fig. 5) — 1.25M parameters.  We train
+    # a small MLP below for speed, but this is the real article:
+    print("Paper CNN (Fig. 5) architecture:")
+    print(paper_cnn_cifar10().summary())
+    print()
+
+    # ------------------------------------------------------------------
+    # A 12-peer federated run, subgroups of 3, 2-out-of-3 secret sharing.
+    dataset = synthetic_blobs(
+        n_train=1200, n_test=300, n_features=16, rng=np.random.default_rng(0),
+        separation=2.0,
+    )
+
+    def model_factory(rng: np.random.Generator):
+        return mlp_classifier(16, rng=rng, hidden=(32,))
+
+    config = SessionConfig(
+        n_peers=12,
+        rounds=15,
+        aggregator="two-layer",
+        group_size=3,
+        threshold=2,          # k-out-of-n: survive 1 dropout per subgroup
+        distribution="iid",
+        lr=1e-2,
+        seed=42,
+    )
+    print(f"Training: {config.n_peers} peers, subgroups of "
+          f"{config.group_size}, {config.threshold}-out-of-{config.group_size} SAC")
+    history = run_session(
+        model_factory, dataset, config,
+        on_round=lambda m: print(
+            f"  round {m.round:>2}: accuracy {m.test_accuracy:.2%}, "
+            f"train loss {m.train_loss:.4f}, "
+            f"{m.comm_bits / 1e6:.2f} Mb on the wire"
+        ),
+    )
+
+    # ------------------------------------------------------------------
+    # The communication story (the paper's Sec. VII).
+    total_two_layer = history.comm_bits.sum()
+    w_params = model_factory(np.random.default_rng(0)).n_params
+    total_baseline = config.rounds * one_layer_sac_cost_bits(config.n_peers, w_params)
+    print()
+    print(f"Final accuracy:      {history.final_accuracy(tail=3):.2%}")
+    print(f"Two-layer traffic:   {total_two_layer / 1e6:.1f} Mb "
+          f"over {config.rounds} rounds")
+    print(f"One-layer SAC cost:  {total_baseline / 1e6:.1f} Mb (baseline)")
+    print(f"Reduction:           {total_baseline / total_two_layer:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

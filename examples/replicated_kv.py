@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""The Raft substrate standalone: a replicated key-value store.
+
+Five replicas over 15 ms links elect a leader, replicate writes, survive
+a leader crash without losing committed data, and bring a recovered
+straggler back up to date via log compaction + InstallSnapshot.
+
+Run:  python examples/replicated_kv.py
+"""
+
+from repro.raft.kv import KVCluster
+
+
+def main() -> None:
+    cluster = KVCluster(5, seed=1, snapshot_threshold=6)
+    leader = cluster.run_until_leader()
+    print(f"Leader elected: node {leader.raft.node_id} "
+          f"(term {leader.raft.current_term})")
+
+    # ------------------------------------------------------------------
+    leader.set("model/version", 1)
+    leader.set("round", 0)
+    cluster.run_for(500.0)
+    print("\nAfter two committed writes, every replica agrees:")
+    for node in cluster.nodes:
+        print(f"  node {node.raft.node_id}: {node.data}")
+
+    # ------------------------------------------------------------------
+    print(f"\nCrashing the leader (node {leader.raft.node_id})...")
+    cluster.crash(leader.raft.node_id)
+    new_leader = cluster.run_until_leader()
+    print(f"New leader: node {new_leader.raft.node_id} "
+          f"(term {new_leader.raft.current_term}); "
+          f"committed data survived: {new_leader.data}")
+
+    # ------------------------------------------------------------------
+    straggler_id = next(
+        n.raft.node_id for n in cluster.nodes
+        if n is not new_leader
+        and not cluster.network.is_crashed(n.raft.node_id)
+    )
+    print(f"\nCrashing node {straggler_id} and writing 12 more keys "
+          "(enough to compact the log)...")
+    cluster.crash(straggler_id)
+    for i in range(12):
+        new_leader.set(f"key{i}", i * i)
+        cluster.run_for(150.0)
+    cluster.run_for(500.0)
+    print(f"Leader log: snapshot boundary at index "
+          f"{new_leader.raft.log.snapshot_index}, "
+          f"{len(new_leader.raft.log)} live entries")
+
+    cluster.recover(straggler_id)
+    cluster.run_for(4_000.0)
+    straggler = cluster.nodes[straggler_id]
+    print(f"\nRecovered node {straggler_id} caught up via InstallSnapshot: "
+          f"{len(straggler.data)} keys, "
+          f"matches leader: {straggler.data == new_leader.data}")
+
+
+if __name__ == "__main__":
+    main()

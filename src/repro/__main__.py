@@ -1,0 +1,172 @@
+"""Command-line experiment runner: ``python -m repro <figure> [options]``.
+
+Regenerates any table/figure of the paper from the terminal and
+optionally dumps the raw series to CSV::
+
+    python -m repro env
+    python -m repro fig6  --rounds 100 --peers 10
+    python -m repro fig10 --trials 100
+    python -m repro fig13
+    python -m repro all   --csv out/
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "figure",
+        choices=[
+            "env", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+            "fig12", "fig13", "fig14", "multilayer", "all", "report",
+            "plan",
+        ],
+        help="which table/figure to regenerate ('report' writes everything "
+        "to a markdown file; 'plan' runs the deployment planner)",
+    )
+    parser.add_argument("--out", default="report.md",
+                        help="output path for 'report'")
+    parser.add_argument("--plan-peers", type=int, default=30,
+                        help="'plan': total peer count")
+    parser.add_argument("--plan-dropouts", type=int, default=1,
+                        help="'plan': mid-SAC dropouts to tolerate per subgroup")
+    parser.add_argument("--plan-bandwidth", type=float, default=None,
+                        help="'plan': uplink bits/s (enables latency ranking)")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="FL communication rounds (figs 6-9)")
+    parser.add_argument("--peers", type=int, default=None,
+                        help="total peers (figs 6-9)")
+    parser.add_argument("--trials", type=int, default=None,
+                        help="Raft trials per timeout (figs 10-12)")
+    parser.add_argument("--dataset", choices=["blobs", "cifar"],
+                        default="blobs", help="FL workload (figs 6-9)")
+    parser.add_argument("--csv", metavar="DIR", default=None,
+                        help="also write raw series as CSV into DIR")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    from . import experiments as ex
+
+    if args.figure == "report":
+        from .experiments.report import write_report
+
+        path = write_report(
+            args.out, rounds=args.rounds, trials=args.trials,
+            peers=args.peers, dataset=args.dataset,
+        )
+        print(f"wrote {path}")
+        return 0
+
+    if args.figure == "plan":
+        from .core.planner import PlanRequirements, enumerate_plans
+        from .nn.zoo import PAPER_CNN_PARAMS
+
+        req = PlanRequirements(sac_dropouts=args.plan_dropouts)
+        plans = enumerate_plans(
+            args.plan_peers, PAPER_CNN_PARAMS, req,
+            bandwidth_bps=args.plan_bandwidth,
+        )
+        print(f"Feasible plans for N={args.plan_peers} "
+              f"(tolerating {args.plan_dropouts} dropout/subgroup), "
+              "Fig. 5 CNN:")
+        print(f"{'n':>4}{'k':>4}{'m':>4}{'Gb/round':>10}{'gain':>8}"
+              f"{'latency s':>11}")
+        for p in plans:
+            lat = f"{p.latency_ms / 1e3:10.2f}" if p.latency_ms else f"{'-':>10}"
+            print(f"{p.n:>4}{p.k:>4}{p.m:>4}{p.volume_gb:>10.2f}"
+                  f"{p.reduction_vs_baseline:>7.2f}x{lat:>11}")
+        return 0
+
+    csv_dir = args.csv
+    want = (
+        ["fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+         "fig13", "fig14", "multilayer", "env"]
+        if args.figure == "all"
+        else [args.figure]
+    )
+
+    def maybe_csv(writer, data, name):
+        if csv_dir is not None:
+            path = writer(data, os.path.join(csv_dir, name))
+            print(f"[csv] wrote {path}")
+
+    fl_cache: dict[str, list] = {}
+
+    def fl_runs(which: str):
+        if which not in fl_cache:
+            if which == "fig6_7":
+                fl_cache[which] = ex.run_fig6_fig7(
+                    n_peers=args.peers, rounds=args.rounds, dataset=args.dataset
+                )
+            else:
+                fl_cache[which] = ex.run_fig8_fig9(
+                    n_peers=args.peers, rounds=args.rounds, dataset=args.dataset
+                )
+        return fl_cache[which]
+
+    for fig in want:
+        if fig == "env":
+            print(ex.format_table1())
+        elif fig in ("fig6", "fig7"):
+            runs = fl_runs("fig6_7")
+            title = "Fig. 6 — final test accuracy" if fig == "fig6" else \
+                "Fig. 7 — training loss (see CSV for curves)"
+            print(ex.format_accuracy_table(runs, title))
+            from .experiments.csv_export import write_fl_runs
+
+            maybe_csv(write_fl_runs, runs, f"{fig}_curves.csv")
+        elif fig in ("fig8", "fig9"):
+            runs = fl_runs("fig8_9")
+            title = "Fig. 8 — accuracy vs fraction p" if fig == "fig8" else \
+                "Fig. 9 — loss vs fraction p (see CSV for curves)"
+            print(ex.format_accuracy_table(runs, title))
+            from .experiments.csv_export import write_fl_runs
+
+            maybe_csv(write_fl_runs, runs, f"{fig}_curves.csv")
+        elif fig in ("fig10", "fig11", "fig12"):
+            runner = {"fig10": ex.run_fig10, "fig11": ex.run_fig11,
+                      "fig12": ex.run_fig12}[fig]
+            stats = runner(trials=args.trials)
+            titles = {
+                "fig10": "Fig. 10 — subgroup leader re-election",
+                "fig11": "Fig. 11 — re-election + FedAvg join",
+                "fig12": "Fig. 12 — FedAvg leader crash, full recovery",
+            }
+            print(ex.format_recovery_table(stats, titles[fig]))
+            from .experiments.csv_export import write_recovery_stats
+
+            maybe_csv(write_recovery_stats, stats, f"{fig}_recovery.csv")
+        elif fig == "fig13":
+            points = ex.run_fig13()
+            print(ex.format_fig13(points))
+            from .experiments.csv_export import write_cost_points
+
+            maybe_csv(write_cost_points, points, "fig13_costs.csv")
+        elif fig == "fig14":
+            series = ex.run_fig14()
+            print(ex.format_fig14(series))
+            from .experiments.csv_export import write_cost_points
+
+            maybe_csv(write_cost_points, series, "fig14_costs.csv")
+        elif fig == "multilayer":
+            points = ex.run_multilayer_table()
+            print(ex.format_multilayer(points))
+            from .experiments.csv_export import write_cost_points
+
+            maybe_csv(write_cost_points, points, "multilayer_costs.csv")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

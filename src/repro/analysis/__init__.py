@@ -1,0 +1,17 @@
+"""Fault-tolerance analysis for the two-layer Raft (paper Sec. VII-D)."""
+
+from .fault_tolerance import (
+    fedavg_layer_tolerance,
+    optimistic_max_faults,
+    subgroup_tolerance,
+    system_operational,
+    tolerance_curve,
+)
+
+__all__ = [
+    "subgroup_tolerance",
+    "fedavg_layer_tolerance",
+    "optimistic_max_faults",
+    "system_operational",
+    "tolerance_curve",
+]

@@ -1,0 +1,66 @@
+"""The paper's contribution: the two-layer (SAC + FedAvg) aggregation system.
+
+- :mod:`.topology` — dividing N peers into m subgroups (Fig. 1).
+- :mod:`.two_layer` — Alg. 3: SAC within subgroups, FedAvg across
+  subgroup leaders, with fraction-p participation and dropout injection.
+- :mod:`.session` — the federated-learning training driver behind
+  Figs. 6-9.
+- :mod:`.costs` — closed-form communication costs (Eqs. 4, 5, 10 and the
+  one-layer SAC baseline).
+- :mod:`.multi_layer` — the X-layer generalization of Sec. VII-C.
+"""
+
+from .checkpoint import Checkpoint, load_checkpoint, save_checkpoint
+from .costs import (
+    fedavg_only_cost_bits,
+    multi_layer_cost_bits,
+    multi_layer_mixed_cost_bits,
+    one_layer_sac_cost_bits,
+    reduction_factor,
+    two_layer_cost_bits,
+    two_layer_cost_from_topology,
+    two_layer_ft_cost_bits,
+    two_layer_ft_cost_from_topology,
+)
+from .latency import (
+    ft_sac_latency_ms,
+    one_layer_sac_latency_ms,
+    two_layer_round_latency_ms,
+)
+from .multi_layer import MultiLayerTopology, multi_layer_aggregate
+from .planner import Plan, PlanRequirements, enumerate_plans, recommend
+from .session import SessionConfig, run_session
+from .topology import Topology
+from .two_layer import AggregateResult, TwoLayerAggregator
+from .wire_round import WireRoundResult, run_two_layer_wire_round
+
+__all__ = [
+    "Topology",
+    "TwoLayerAggregator",
+    "AggregateResult",
+    "SessionConfig",
+    "run_session",
+    "one_layer_sac_cost_bits",
+    "two_layer_cost_bits",
+    "two_layer_ft_cost_bits",
+    "two_layer_cost_from_topology",
+    "two_layer_ft_cost_from_topology",
+    "fedavg_only_cost_bits",
+    "multi_layer_cost_bits",
+    "reduction_factor",
+    "MultiLayerTopology",
+    "multi_layer_aggregate",
+    "multi_layer_mixed_cost_bits",
+    "Checkpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+    "ft_sac_latency_ms",
+    "one_layer_sac_latency_ms",
+    "two_layer_round_latency_ms",
+    "Plan",
+    "PlanRequirements",
+    "enumerate_plans",
+    "recommend",
+    "run_two_layer_wire_round",
+    "WireRoundResult",
+]

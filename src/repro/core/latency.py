@@ -1,0 +1,122 @@
+"""Round wall-clock latency model (beyond-paper analysis).
+
+The paper evaluates communication *volume* (Figs. 13-14); volume buys
+wall-clock time through each peer's uplink.  This model assumes every
+peer serializes its outgoing messages on an uplink of ``bandwidth_bps``
+while transfers to distinct receivers proceed in parallel — the standard
+first-order model of a P2P swarm.
+
+Per aggregation round of the two-layer system:
+
+1. **SAC phase 1** (per subgroup, concurrent across subgroups): each
+   peer pushes ``n-1`` bundles of ``n-k+1`` shares — uplink busy for
+   ``(n-1)(n-k+1) * t_w``, last bundle lands one propagation delay later.
+2. **SAC phase 2**: ``k-1`` subtotal uploads to the leader (concurrent
+   senders): ``t_w + delay``.
+3. **FedAvg**: subgroup leaders upload concurrently (``t_w + delay``),
+   and the global model is re-broadcast down two hops
+   (``2 * (t_w + delay)``) — leaders relay to their members.
+
+One-layer SAC (Alg. 2) pays ``(N-1) t_w`` of uplink in *each* of its two
+phases, which is what makes it slow in wall-clock as well as in volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..secure.sac import DEFAULT_BITS_PER_PARAM
+from .topology import Topology
+
+
+@dataclass(frozen=True)
+class RoundLatency:
+    """Wall-clock breakdown of one aggregation round (milliseconds)."""
+
+    sac_ms: float
+    fedavg_ms: float
+    broadcast_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        return self.sac_ms + self.fedavg_ms + self.broadcast_ms
+
+
+def _transfer_ms(w_params: int, bandwidth_bps: float, bits_per_param: int) -> float:
+    if w_params < 1 or bandwidth_bps <= 0 or bits_per_param < 1:
+        raise ValueError("w_params, bandwidth and bits_per_param must be positive")
+    return 1000.0 * w_params * bits_per_param / bandwidth_bps
+
+
+def ft_sac_latency_ms(
+    n: int,
+    k: int,
+    w_params: int,
+    bandwidth_bps: float,
+    delay_ms: float = 15.0,
+    bits_per_param: int = DEFAULT_BITS_PER_PARAM,
+) -> float:
+    """Wall-clock of one k-out-of-n SAC round under uplink serialization."""
+    if not 1 <= k <= n:
+        raise ValueError(f"need 1 <= k <= n, got k={k}, n={n}")
+    if n == 1:
+        return 0.0
+    t_w = _transfer_ms(w_params, bandwidth_bps, bits_per_param)
+    phase1 = (n - 1) * (n - k + 1) * t_w + delay_ms
+    phase2 = (t_w + delay_ms) if k > 1 else 0.0
+    return phase1 + phase2
+
+
+def one_layer_sac_latency_ms(
+    n_peers: int,
+    w_params: int,
+    bandwidth_bps: float,
+    delay_ms: float = 15.0,
+    bits_per_param: int = DEFAULT_BITS_PER_PARAM,
+) -> float:
+    """Wall-clock of Alg. 2: share exchange + subtotal broadcast, each
+    costing ``(N-1) t_w`` of uplink plus a propagation delay."""
+    if n_peers < 1:
+        raise ValueError("need at least one peer")
+    if n_peers == 1:
+        return 0.0
+    t_w = _transfer_ms(w_params, bandwidth_bps, bits_per_param)
+    per_phase = (n_peers - 1) * t_w + delay_ms
+    return 2 * per_phase
+
+
+def two_layer_round_latency_ms(
+    topology: Topology,
+    k: int | None,
+    w_params: int,
+    bandwidth_bps: float,
+    delay_ms: float = 15.0,
+    bits_per_param: int = DEFAULT_BITS_PER_PARAM,
+) -> RoundLatency:
+    """Wall-clock of one full two-layer aggregation round.
+
+    Subgroups run SAC concurrently (the slowest gates the round); then
+    leaders upload to the FedAvg leader and the result is re-broadcast
+    through the leaders to every member.
+    """
+    t_w = _transfer_ms(w_params, bandwidth_bps, bits_per_param)
+    sac = max(
+        ft_sac_latency_ms(
+            size,
+            min(k, size) if k is not None else size,
+            w_params,
+            bandwidth_bps,
+            delay_ms,
+            bits_per_param,
+        )
+        for size in topology.group_sizes
+    )
+    # Leaders upload concurrently; the FedAvg leader's own value is local.
+    fedavg = (t_w + delay_ms) if topology.n_groups > 1 else 0.0
+    # Two-hop broadcast: FedAvg leader -> leaders -> members.  The FedAvg
+    # leader pushes m-1 copies down its uplink; each leader then pushes
+    # n_i - 1 copies concurrently with its peers.
+    down1 = (topology.n_groups - 1) * t_w + delay_ms if topology.n_groups > 1 else 0.0
+    max_followers = max(size - 1 for size in topology.group_sizes)
+    down2 = (max_followers * t_w + delay_ms) if max_followers > 0 else 0.0
+    return RoundLatency(sac_ms=sac, fedavg_ms=fedavg, broadcast_ms=down1 + down2)

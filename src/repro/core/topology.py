@@ -1,0 +1,110 @@
+"""Subgroup topology (Fig. 1).
+
+The paper parameterizes the split two ways:
+
+- by **subgroup size** ``n`` (Figs. 6-9): ``m = N // n`` subgroups, with
+  the remainder spread over the groups — for N=10, n=3 that gives
+  subgroups of 3, 3 and 4, exactly as in Fig. 6's caption;
+- by **group count** ``m`` (Fig. 13): ``N // m`` peers per subgroup with
+  the remaining ``N mod m`` distributed as evenly as possible — for
+  N=30, m=4 that gives 8, 8, 7, 7, as in Fig. 13's caption.
+
+Each subgroup's first member is its initial leader; the FedAvg layer is
+the set of subgroup leaders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Topology:
+    """An assignment of peer ids ``0..N-1`` into subgroups."""
+
+    groups: tuple[tuple[int, ...], ...]
+    leaders: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        seen: set[int] = set()
+        for group in self.groups:
+            if not group:
+                raise ValueError("empty subgroup")
+            overlap = seen.intersection(group)
+            if overlap:
+                raise ValueError(f"peers {sorted(overlap)} appear in two subgroups")
+            seen.update(group)
+        if seen != set(range(len(seen))):
+            raise ValueError("peer ids must be contiguous 0..N-1")
+        if len(self.leaders) != len(self.groups):
+            raise ValueError("one leader per subgroup required")
+        for leader, group in zip(self.leaders, self.groups):
+            if leader not in group:
+                raise ValueError(f"leader {leader} not a member of its subgroup")
+
+    # ------------------------------------------------------------ properties
+    @property
+    def n_peers(self) -> int:
+        return sum(len(g) for g in self.groups)
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.groups)
+
+    @property
+    def group_sizes(self) -> tuple[int, ...]:
+        return tuple(len(g) for g in self.groups)
+
+    def group_of(self, peer: int) -> int:
+        for gi, group in enumerate(self.groups):
+            if peer in group:
+                return gi
+        raise KeyError(f"unknown peer {peer}")
+
+    def member_position(self, peer: int) -> int:
+        """Index of ``peer`` within its subgroup (SAC share indexing)."""
+        gi = self.group_of(peer)
+        return self.groups[gi].index(peer)
+
+    # ---------------------------------------------------------- constructors
+    @staticmethod
+    def _spread(n_peers: int, n_groups: int) -> "Topology":
+        base = n_peers // n_groups
+        extra = n_peers % n_groups
+        groups: list[tuple[int, ...]] = []
+        start = 0
+        for gi in range(n_groups):
+            size = base + (1 if gi < extra else 0)
+            groups.append(tuple(range(start, start + size)))
+            start += size
+        return Topology(
+            groups=tuple(groups), leaders=tuple(g[0] for g in groups)
+        )
+
+    @classmethod
+    def by_group_count(cls, n_peers: int, m: int) -> "Topology":
+        """Split ``n_peers`` into exactly ``m`` subgroups (Fig. 13 style)."""
+        if m < 1:
+            raise ValueError("need at least one subgroup")
+        if n_peers < m:
+            raise ValueError(f"cannot form {m} subgroups from {n_peers} peers")
+        return cls._spread(n_peers, m)
+
+    @classmethod
+    def by_group_size(cls, n_peers: int, n: int) -> "Topology":
+        """Split into subgroups of (about) ``n`` peers (Fig. 6 style).
+
+        Forms ``m = n_peers // n`` subgroups and spreads the remainder, so
+        every subgroup has ``n`` or ``n + 1`` members.
+        """
+        if n < 1:
+            raise ValueError("subgroup size must be >= 1")
+        if n_peers < n:
+            raise ValueError(f"cannot form a subgroup of {n} from {n_peers} peers")
+        m = n_peers // n
+        return cls._spread(n_peers, m)
+
+    @classmethod
+    def single_group(cls, n_peers: int) -> "Topology":
+        """One subgroup holding everyone (degenerates to one-layer SAC)."""
+        return cls.by_group_count(n_peers, 1)

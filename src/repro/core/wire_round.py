@@ -1,0 +1,205 @@
+"""One complete two-layer aggregation round on the simulated wire.
+
+Every peer is a network actor: subgroups run the Alg. 4 SAC protocol
+concurrently, each subgroup leader uploads its SAC average to the FedAvg
+leader, the FedAvg leader computes the subgroup-size-weighted mean
+(Alg. 3 line 10), pushes it back through the leaders, and the round
+completes when every alive peer holds the global model.
+
+This is the end-to-end validation piece: the measured traffic equals
+:func:`repro.core.costs.two_layer_ft_cost_from_topology` bit-for-bit,
+and with ``serialize_uplink=True`` the measured completion time tracks
+:func:`repro.core.latency.two_layer_round_latency_ms`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..fl.fedavg import fedavg
+from ..secure.protocol import SacProtocolPeer
+from ..secure.sac import DEFAULT_BITS_PER_PARAM
+from ..simnet import FixedLatency, Network, Simulator, TraceRecorder
+from .topology import Topology
+
+
+@dataclass(frozen=True)
+class _Upload:
+    """Subgroup leader -> FedAvg leader: the SAC average + group size."""
+
+    group: int
+    average: np.ndarray
+    weight: float
+
+    def size_bits(self) -> float:
+        return float(np.asarray(self.average).size * DEFAULT_BITS_PER_PARAM)
+
+
+@dataclass(frozen=True)
+class _GlobalModel:
+    average: np.ndarray
+
+    def size_bits(self) -> float:
+        return float(np.asarray(self.average).size * DEFAULT_BITS_PER_PARAM)
+
+
+class _TwoLayerPeer(SacProtocolPeer):
+    """SAC actor extended with the FedAvg layer's upload/broadcast roles."""
+
+    def __init__(self, *args, round_ctx: "_RoundContext", group: int, **kw):
+        super().__init__(*args, **kw)
+        self.round_ctx = round_ctx
+        self.group = group
+        self.global_model: Optional[np.ndarray] = None
+        self.global_model_time: Optional[float] = None
+        # FedAvg-leader state
+        self._uploads: dict[int, _Upload] = {}
+
+    # ----------------------------------------------------- subgroup -> fed
+    def on_average(self, average: np.ndarray) -> None:
+        ctx = self.round_ctx
+        upload = _Upload(self.group, average, weight=float(self.n))
+        if self.node_id == ctx.fed_leader:
+            self._accept_upload(upload)
+        else:
+            self.send(
+                ctx.fed_leader, upload, size_bits=upload.size_bits(),
+                kind="fed.upload",
+            )
+
+    def _accept_upload(self, upload: _Upload) -> None:
+        ctx = self.round_ctx
+        self._uploads[upload.group] = upload
+        if len(self._uploads) == ctx.n_groups:
+            items = sorted(self._uploads.items())
+            global_avg = fedavg(
+                [u.average for _, u in items],
+                weights=[u.weight for _, u in items],
+            )
+            msg = _GlobalModel(global_avg)
+            self._adopt_global(global_avg)
+            # Push down through the other subgroup leaders...
+            for leader in ctx.leaders:
+                if leader != self.node_id:
+                    self.send(
+                        leader, msg, size_bits=msg.size_bits(), kind="fed.bcast"
+                    )
+            # ...and to this leader's own subgroup members.
+            self._relay_to_members(msg)
+
+    # ----------------------------------------------------- fed -> subgroup
+    def _relay_to_members(self, msg: _GlobalModel) -> None:
+        for member in self.members:
+            if member != self.node_id:
+                self.send(
+                    member, msg, size_bits=msg.size_bits(), kind="sub.bcast"
+                )
+
+    def _adopt_global(self, average: np.ndarray) -> None:
+        if self.global_model is None:
+            self.global_model = average
+            self.global_model_time = self.sim.now
+            self.round_ctx.done_peers.add(self.node_id)
+
+    def on_message(self, src: int, msg) -> None:
+        if isinstance(msg, _Upload):
+            self._accept_upload(msg)
+        elif isinstance(msg, _GlobalModel):
+            first = self.global_model is None
+            self._adopt_global(msg.average)
+            if first and self.node_id in self.round_ctx.leaders:
+                self._relay_to_members(msg)
+        else:
+            super().on_message(src, msg)
+
+
+@dataclass
+class _RoundContext:
+    fed_leader: int
+    leaders: tuple[int, ...]
+    n_groups: int
+    done_peers: set
+
+
+@dataclass(frozen=True)
+class WireRoundResult:
+    """Outcome of one on-the-wire two-layer round."""
+
+    average: Optional[np.ndarray]
+    completed: bool
+    finish_time_ms: Optional[float]
+    bits_sent: float
+    messages_sent: int
+    bits_by_kind: dict
+
+
+def run_two_layer_wire_round(
+    topology: Topology,
+    models: Sequence[np.ndarray],
+    k: int | None = None,
+    delay_ms: float = 15.0,
+    seed: int = 0,
+    bandwidth_bps: float | None = None,
+    serialize_uplink: bool = False,
+    subtotal_timeout_ms: float = 100.0,
+    round_timeout_ms: float = 60_000.0,
+) -> WireRoundResult:
+    """Execute one full two-layer aggregation round as network actors.
+
+    The FedAvg leader is the first subgroup's leader.  The round is
+    complete when **every** peer has received the global model.
+    """
+    if len(models) != topology.n_peers:
+        raise ValueError(f"expected {topology.n_peers} models")
+    sim = Simulator()
+    rng = np.random.default_rng(seed)
+    trace = TraceRecorder()
+    network = Network(
+        sim, latency=FixedLatency(delay_ms), rng=rng, trace=trace,
+        bandwidth_bps=bandwidth_bps, serialize_uplink=serialize_uplink,
+    )
+    ctx = _RoundContext(
+        fed_leader=topology.leaders[0],
+        leaders=tuple(topology.leaders),
+        n_groups=topology.n_groups,
+        done_peers=set(),
+    )
+    peers: list[_TwoLayerPeer] = []
+    for gi, group in enumerate(topology.groups):
+        n = len(group)
+        k_eff = min(k, n) if k is not None else n
+        for pid in group:
+            peers.append(
+                _TwoLayerPeer(
+                    pid, sim, network, n, k_eff, topology.leaders[gi],
+                    models[pid],
+                    np.random.default_rng(rng.integers(2**63)),
+                    subtotal_timeout_ms,
+                    members=list(group),
+                    round_ctx=ctx,
+                    group=gi,
+                )
+            )
+    for peer in peers:
+        sim.schedule(0.0, peer.start_round)
+
+    everyone = set(range(topology.n_peers))
+    sim.run_while(
+        lambda: ctx.done_peers != everyone and sim.now < round_timeout_ms
+    )
+    completed = ctx.done_peers == everyone
+    fed_leader_peer = next(p for p in peers if p.node_id == ctx.fed_leader)
+    finish = (
+        max(p.global_model_time for p in peers) if completed else None
+    )
+    return WireRoundResult(
+        average=fed_leader_peer.global_model,
+        completed=completed,
+        finish_time_ms=finish,
+        bits_sent=trace.total_bits,
+        messages_sent=trace.total_messages,
+        bits_by_kind=trace.by_kind(),
+    )

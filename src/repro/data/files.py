@@ -1,0 +1,123 @@
+"""Loaders for the real MNIST / CIFAR-10 files (paper Sec. VI-A1).
+
+This environment has no network access, so the experiments default to
+the synthetic stand-ins — but a downstream user with the datasets on
+disk can reproduce the paper's exact workloads:
+
+- :func:`load_mnist_idx` reads the original IDX files
+  (``train-images-idx3-ubyte`` etc., optionally ``.gz``);
+- :func:`load_cifar10_batches` reads the python-pickle batches of the
+  ``cifar-10-batches-py`` archive.
+
+Both return the same :class:`~repro.data.synthetic.Dataset` structure as
+the synthetic generators (float inputs scaled to [0, 1], NCHW), so they
+drop into every experiment unchanged.
+"""
+
+from __future__ import annotations
+
+import gzip
+import os
+import pickle
+import struct
+
+import numpy as np
+
+from .synthetic import Dataset
+
+
+def _open_maybe_gz(path: str):
+    if path.endswith(".gz"):
+        return gzip.open(path, "rb")
+    if not os.path.exists(path) and os.path.exists(path + ".gz"):
+        return gzip.open(path + ".gz", "rb")
+    return open(path, "rb")
+
+
+def read_idx(path: str) -> np.ndarray:
+    """Read one IDX-format array (the MNIST container format)."""
+    with _open_maybe_gz(path) as fh:
+        magic = fh.read(4)
+        if len(magic) != 4 or magic[0] != 0 or magic[1] != 0:
+            raise ValueError(f"{path}: not an IDX file (bad magic {magic!r})")
+        dtype_code, ndim = magic[2], magic[3]
+        dtypes = {
+            0x08: np.uint8, 0x09: np.int8, 0x0B: np.int16,
+            0x0C: np.int32, 0x0D: np.float32, 0x0E: np.float64,
+        }
+        if dtype_code not in dtypes:
+            raise ValueError(f"{path}: unknown IDX dtype 0x{dtype_code:02x}")
+        shape = struct.unpack(f">{ndim}I", fh.read(4 * ndim))
+        data = np.frombuffer(fh.read(), dtype=np.dtype(dtypes[dtype_code]).newbyteorder(">"))
+        expected = int(np.prod(shape))
+        if data.size != expected:
+            raise ValueError(
+                f"{path}: expected {expected} elements, found {data.size}"
+            )
+        return data.reshape(shape)
+
+
+def load_mnist_idx(directory: str) -> Dataset:
+    """Load MNIST from its four IDX files in ``directory``."""
+    names = {
+        "x_train": "train-images-idx3-ubyte",
+        "y_train": "train-labels-idx1-ubyte",
+        "x_test": "t10k-images-idx3-ubyte",
+        "y_test": "t10k-labels-idx1-ubyte",
+    }
+    arrays = {}
+    for key, name in names.items():
+        path = os.path.join(directory, name)
+        if not (os.path.exists(path) or os.path.exists(path + ".gz")):
+            raise FileNotFoundError(
+                f"MNIST file {name}(.gz) not found in {directory}"
+            )
+        arrays[key] = read_idx(path)
+    x_train = arrays["x_train"].astype(np.float64)[:, None, :, :] / 255.0
+    x_test = arrays["x_test"].astype(np.float64)[:, None, :, :] / 255.0
+    return Dataset(
+        x_train,
+        arrays["y_train"].astype(np.int64),
+        x_test,
+        arrays["y_test"].astype(np.int64),
+        n_classes=10,
+        name="mnist",
+    )
+
+
+def load_cifar10_batches(directory: str) -> Dataset:
+    """Load CIFAR-10 from the ``cifar-10-batches-py`` pickle files."""
+    def read_batch(name: str) -> tuple[np.ndarray, np.ndarray]:
+        path = os.path.join(directory, name)
+        if not os.path.exists(path):
+            raise FileNotFoundError(f"CIFAR-10 batch {name} not found in {directory}")
+        with open(path, "rb") as fh:
+            batch = pickle.load(fh, encoding="bytes")
+        data = batch.get(b"data", batch.get("data"))
+        labels = batch.get(b"labels", batch.get("labels"))
+        if data is None or labels is None:
+            raise ValueError(f"{name}: missing 'data'/'labels' keys")
+        x = np.asarray(data, dtype=np.float64).reshape(-1, 3, 32, 32) / 255.0
+        return x, np.asarray(labels, dtype=np.int64)
+
+    train_parts = [read_batch(f"data_batch_{i}") for i in range(1, 6)]
+    x_train = np.concatenate([p[0] for p in train_parts])
+    y_train = np.concatenate([p[1] for p in train_parts])
+    x_test, y_test = read_batch("test_batch")
+    return Dataset(x_train, y_train, x_test, y_test, n_classes=10, name="cifar10")
+
+
+def load_dataset(name: str, directory: str | None = None, **synthetic_kw) -> Dataset:
+    """Dataset dispatcher: real files when ``directory`` is given,
+    synthetic stand-ins otherwise."""
+    from .synthetic import synthetic_cifar10, synthetic_mnist
+
+    if name == "mnist":
+        if directory is not None:
+            return load_mnist_idx(directory)
+        return synthetic_mnist(**synthetic_kw)
+    if name == "cifar10":
+        if directory is not None:
+            return load_cifar10_batches(directory)
+        return synthetic_cifar10(**synthetic_kw)
+    raise ValueError(f"unknown dataset {name!r}; expected 'mnist' or 'cifar10'")

@@ -1,0 +1,50 @@
+"""Experiment harness: one runner per table/figure of the paper.
+
+Each ``run_*`` function returns structured rows and each ``format_*``
+renders a text table shaped like the paper's figure/table, so the
+benchmarks can print paper-vs-measured series.  Defaults are scaled down
+for wall-clock friendliness; env vars restore paper scale:
+
+- ``REPRO_ROUNDS``   — FL communication rounds (paper: 1000)
+- ``REPRO_TRIALS``   — Raft recovery trials per timeout (paper: 1000)
+- ``REPRO_PEERS``    — total peers for the FL figures (paper: 10 / 20)
+"""
+
+from .envreport import environment_report, format_table1
+from .fl_experiments import (
+    run_fig6_fig7,
+    run_fig8_fig9,
+    format_accuracy_table,
+)
+from .raft_experiments import (
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    format_recovery_table,
+)
+from .cost_experiments import (
+    run_fig13,
+    run_fig14,
+    run_multilayer_table,
+    format_fig13,
+    format_fig14,
+    format_multilayer,
+)
+
+__all__ = [
+    "environment_report",
+    "format_table1",
+    "run_fig6_fig7",
+    "run_fig8_fig9",
+    "format_accuracy_table",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "format_recovery_table",
+    "run_fig13",
+    "run_fig14",
+    "run_multilayer_table",
+    "format_fig13",
+    "format_fig14",
+    "format_multilayer",
+]

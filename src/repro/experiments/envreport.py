@@ -1,0 +1,60 @@
+"""Environment report — the analogue of the paper's Table I.
+
+The paper lists the evaluation machine (CPU, memory, OS, software
+versions).  We report the same facts about the machine running the
+reproduction.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+
+import numpy as np
+
+
+def _cpu_model() -> str:
+    try:
+        with open("/proc/cpuinfo") as fh:
+            for line in fh:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or "unknown"
+
+
+def _memory_gb() -> float | None:
+    try:
+        with open("/proc/meminfo") as fh:
+            for line in fh:
+                if line.startswith("MemTotal"):
+                    kb = float(line.split()[1])
+                    return kb / 1024 / 1024
+    except OSError:
+        pass
+    return None
+
+
+def environment_report() -> dict[str, str]:
+    """Key/value table describing the host (Table I analogue)."""
+    mem = _memory_gb()
+    return {
+        "OS": f"{platform.system()} {platform.release()}",
+        "CPU": _cpu_model(),
+        "Cores": str(os.cpu_count() or "unknown"),
+        "Memory": f"{mem:.1f} GiB" if mem is not None else "unknown",
+        "Python": sys.version.split()[0],
+        "NumPy": np.__version__,
+        "FL framework": "repro.nn (NumPy, replaces PyTorch 2.0.1)",
+        "Raft": "repro.raft (simnet, replaces Go hashicorp/raft 1.5.0)",
+    }
+
+
+def format_table1(report: dict[str, str] | None = None) -> str:
+    report = report if report is not None else environment_report()
+    width = max(len(k) for k in report)
+    lines = ["Table I — evaluation environment (this reproduction)"]
+    lines += [f"  {k:<{width}}  {v}" for k, v in report.items()]
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""The paper's exact evaluation parameters, as importable presets.
+
+Single source of truth for what "paper scale" means per artifact, used
+by the docs, the slow integration tests, and anyone re-running the full
+evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FlSetting:
+    n_peers: int
+    rounds: int
+    group_sizes: tuple[int, ...]
+    distributions: tuple[str, ...]
+    epochs: int
+    batch_size: int
+    lr: float
+    dataset: str
+
+
+@dataclass(frozen=True)
+class RaftSetting:
+    n_peers: int
+    group_count: int
+    delay_ms: float
+    timeout_bases_ms: tuple[float, ...]
+    trials: int
+    join_poll_interval_ms: float
+
+
+#: Figs. 6-7 (Sec. VI-A1): CIFAR-10, N=10, n in {3, 5, N}, 1000 rounds,
+#: Adam @ 1e-4, 1 epoch/round, batch 50.
+FIG6_7 = FlSetting(
+    n_peers=10,
+    rounds=1000,
+    group_sizes=(3, 5, 10),
+    distributions=("iid", "noniid-5", "noniid-0"),
+    epochs=1,
+    batch_size=50,
+    lr=1e-4,
+    dataset="cifar10",
+)
+
+#: Figs. 8-9: N=20, n=5 (four subgroups), p in {0.5, 1}.
+FIG8_9 = FlSetting(
+    n_peers=20,
+    rounds=1000,
+    group_sizes=(5,),
+    distributions=("iid", "noniid-5", "noniid-0"),
+    epochs=1,
+    batch_size=50,
+    lr=1e-4,
+    dataset="cifar10",
+)
+
+#: Figs. 10-12 (Sec. VI-B1): N=25 in five subgroups of five, 15 ms tc
+#: delay, timeouts ~ U(T, 2T), 1000 trials per range, 100 ms FedAvg
+#: presence check.
+FIG10_12 = RaftSetting(
+    n_peers=25,
+    group_count=5,
+    delay_ms=15.0,
+    timeout_bases_ms=(50.0, 100.0, 150.0, 200.0),
+    trials=1000,
+    join_poll_interval_ms=100.0,
+)
+
+#: Fig. 13: N=30, m swept 1..30, Fig. 5 CNN (1,250,858 params x 32 bit).
+FIG13_N = 30
+
+#: Fig. 14: N in {10..50}, (k-n) in {3-3, 2-3, 5-5, 3-5} + baseline.
+FIG14_N_VALUES = (10, 20, 30, 40, 50)
+
+#: Paper headline results asserted by the benchmark suite.
+HEADLINES = {
+    "fig5_params": 1_250_858,
+    "fig13_m6_gb": 7.12,
+    "fig14_ratio_2_3_N30": 10.36,
+    "fig14_ratio_3_3_N30": 14.75,
+    "fig14_ratio_3_5_N30": 4.29,
+    "baseline_N50_gb": 196.13,
+    "fig10_means_ms": (214.30, 401.04, 580.74, 749.07),
+    "fig11_deltas_ms": (122.98, 125.8, 144.70, 166.09),
+    "fig12_deltas_ms": (95.07, 114.65, 130.30, 158.53),
+    "fig6_best_iid_acc": 0.7469,
+    "fig6_noniid0_acc": 0.5795,
+    "fig8_mean_gap": 0.0218,
+}

@@ -1,0 +1,107 @@
+"""Grid sweeps over session configurations.
+
+A small, general tool for the questions the paper's figures answer one
+at a time: "what happens to accuracy/traffic as (n, k, p, distribution,
+...) vary?"  Builds the cartesian product of the supplied axes, runs one
+session per point, and returns tidy rows (optionally written to CSV).
+"""
+
+from __future__ import annotations
+
+import csv
+import itertools
+import os
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Iterable, Mapping
+
+import numpy as np
+
+from ..core.session import SessionConfig, run_session
+from ..data.synthetic import Dataset
+from ..nn.model import Sequential
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point and its results."""
+
+    params: dict
+    final_accuracy: float
+    final_train_loss: float
+    total_comm_bits: float
+    rounds: int
+
+
+def sweep_sessions(
+    model_factory: Callable[[np.random.Generator], Sequential],
+    dataset: Dataset,
+    base: SessionConfig,
+    axes: Mapping[str, Iterable[Any]],
+    tail: int = 5,
+) -> list[SweepPoint]:
+    """Run one session per point of the cartesian product of ``axes``.
+
+    ``axes`` maps :class:`SessionConfig` field names to value lists, e.g.
+    ``{"group_size": [3, 5], "distribution": ["iid", "noniid-0"]}``.
+    Invalid combinations (e.g. ``threshold > group_size``) are skipped
+    rather than raising, so coarse grids stay convenient.
+    """
+    names = list(axes)
+    bad = [n for n in names if not hasattr(base, n)]
+    if bad:
+        raise ValueError(f"unknown SessionConfig fields: {bad}")
+    points: list[SweepPoint] = []
+    for values in itertools.product(*(axes[name] for name in names)):
+        params = dict(zip(names, values))
+        try:
+            config = replace(base, **params)
+        except ValueError:
+            continue  # infeasible combination
+        try:
+            history = run_session(model_factory, dataset, config)
+        except ValueError:
+            continue
+        points.append(
+            SweepPoint(
+                params=params,
+                final_accuracy=history.final_accuracy(tail=tail),
+                final_train_loss=float(history.train_loss[-1]),
+                total_comm_bits=float(history.comm_bits.sum()),
+                rounds=len(history),
+            )
+        )
+    return points
+
+
+def write_sweep_csv(points: list[SweepPoint], path: str) -> str:
+    """Tidy CSV: one column per swept parameter plus the result columns."""
+    if not points:
+        raise ValueError("no sweep points to write")
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    param_names = sorted({k for p in points for k in p.params})
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            param_names
+            + ["final_accuracy", "final_train_loss", "total_comm_bits", "rounds"]
+        )
+        for p in points:
+            writer.writerow(
+                [p.params.get(k, "") for k in param_names]
+                + [
+                    f"{p.final_accuracy:.6f}",
+                    f"{p.final_train_loss:.6f}",
+                    f"{p.total_comm_bits:.0f}",
+                    p.rounds,
+                ]
+            )
+    return path
+
+
+def best_point(
+    points: list[SweepPoint], key: str = "final_accuracy", maximize: bool = True
+) -> SweepPoint:
+    """The sweep point optimizing ``key``."""
+    if not points:
+        raise ValueError("no sweep points")
+    return (max if maximize else min)(points, key=lambda p: getattr(p, key))

@@ -1,0 +1,63 @@
+"""Federated Averaging (Sec. III-A).
+
+``w_{t+1} = sum_k (n_k / n) w_{t+1}^k`` — the sample-count-weighted mean
+of the client models.  In the two-layer system (Alg. 3 line 10) the
+"clients" are subgroup leaders and ``n_k`` is the subgroup size.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def fedavg(
+    models: Sequence[np.ndarray],
+    weights: Sequence[float] | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Weighted average of flat model vectors.
+
+    Parameters
+    ----------
+    models:
+        Flat parameter vectors, all the same shape.
+    weights:
+        Non-negative aggregation weights (sample counts ``n_k`` or
+        subgroup sizes).  Defaults to uniform.
+    out:
+        Optional preallocated output buffer (in-place accumulation; no
+        ``(len(models), |w|)`` temporary is created).
+    """
+    if len(models) == 0:
+        raise ValueError("need at least one model")
+    first = np.asarray(models[0], dtype=np.float64)
+    if weights is None:
+        weights = [1.0] * len(models)
+    if len(weights) != len(models):
+        raise ValueError(
+            f"got {len(models)} models but {len(weights)} weights"
+        )
+    w = np.asarray(weights, dtype=np.float64)
+    if (w < 0).any():
+        raise ValueError("weights must be non-negative")
+    total = w.sum()
+    if total <= 0:
+        raise ValueError("weights must not all be zero")
+
+    if out is None:
+        out = np.zeros_like(first)
+    else:
+        if out.shape != first.shape:
+            raise ValueError(f"out must have shape {first.shape}")
+        out[...] = 0.0
+    for model, wk in zip(models, w):
+        model = np.asarray(model)
+        if model.shape != first.shape:
+            raise ValueError(
+                f"model shape mismatch: {model.shape} vs {first.shape}"
+            )
+        # out += (wk/total) * model, without allocating scaled copies.
+        out += model * (wk / total)
+    return out

@@ -1,0 +1,113 @@
+"""Round-by-round training metrics (the paper plots moving averages)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def moving_average(values: np.ndarray | list[float], window: int) -> np.ndarray:
+    """Trailing moving average with a warm-up (shorter prefix windows).
+
+    Matches the "moving average of test accuracy" presentation in
+    Figs. 6-9: element ``i`` averages ``values[max(0, i-window+1) : i+1]``.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    v = np.asarray(values, dtype=np.float64)
+    if v.ndim != 1:
+        raise ValueError("values must be 1-D")
+    if v.size == 0:
+        return v.copy()
+    csum = np.concatenate([[0.0], np.cumsum(v)])
+    idx = np.arange(1, v.size + 1)
+    lo = np.maximum(0, idx - window)
+    return (csum[idx] - csum[lo]) / (idx - lo)
+
+
+def confusion_matrix(
+    predictions: np.ndarray, labels: np.ndarray, n_classes: int
+) -> np.ndarray:
+    """``C[i, j]`` = samples of true class ``i`` predicted as ``j``."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions / labels shape mismatch")
+    if n_classes < 1:
+        raise ValueError("n_classes must be >= 1")
+    bad = (labels < 0) | (labels >= n_classes) | (predictions < 0) | (
+        predictions >= n_classes
+    )
+    if bad.any():
+        raise ValueError("class ids out of range")
+    out = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(out, (labels, predictions), 1)
+    return out
+
+
+def per_class_accuracy(
+    predictions: np.ndarray, labels: np.ndarray, n_classes: int
+) -> np.ndarray:
+    """Recall per class (NaN for classes absent from ``labels``).
+
+    The natural lens on the non-IID experiments: under non-IID(0%) the
+    global model's per-class accuracies are far more uneven than the
+    top-line number suggests.
+    """
+    cm = confusion_matrix(predictions, labels, n_classes)
+    totals = cm.sum(axis=1).astype(np.float64)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(totals > 0, np.diag(cm) / totals, np.nan)
+
+
+@dataclass(frozen=True)
+class RoundMetrics:
+    """Metrics of one communication round."""
+
+    round: int
+    test_accuracy: float
+    test_loss: float
+    train_loss: float
+    comm_bits: float = 0.0
+
+
+@dataclass
+class MetricsHistory:
+    """Accumulates per-round metrics; exposes arrays for analysis/plots."""
+
+    rounds: list[RoundMetrics] = field(default_factory=list)
+
+    def append(self, metrics: RoundMetrics) -> None:
+        self.rounds.append(metrics)
+
+    def __len__(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def accuracy(self) -> np.ndarray:
+        return np.array([r.test_accuracy for r in self.rounds])
+
+    @property
+    def test_loss(self) -> np.ndarray:
+        return np.array([r.test_loss for r in self.rounds])
+
+    @property
+    def train_loss(self) -> np.ndarray:
+        return np.array([r.train_loss for r in self.rounds])
+
+    @property
+    def comm_bits(self) -> np.ndarray:
+        return np.array([r.comm_bits for r in self.rounds])
+
+    def accuracy_ma(self, window: int = 10) -> np.ndarray:
+        return moving_average(self.accuracy, window)
+
+    def train_loss_ma(self, window: int = 10) -> np.ndarray:
+        return moving_average(self.train_loss, window)
+
+    def final_accuracy(self, tail: int = 10) -> float:
+        """Mean accuracy over the last ``tail`` rounds (headline numbers)."""
+        if not self.rounds:
+            raise ValueError("no rounds recorded")
+        return float(self.accuracy[-tail:].mean())

@@ -1,0 +1,238 @@
+"""Additional layers and training utilities beyond the Fig. 5 CNN.
+
+Everything a downstream user would expect from the substrate: average
+pooling, batch normalization (1-D and 2-D), L2 weight decay, step/cosine
+learning-rate schedules, global gradient clipping, and ``.npz``
+checkpointing of models.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .layers import Layer, Param
+from .model import Sequential
+from .optim import Optimizer
+from .serialize import get_flat_params, set_flat_params
+
+
+class AvgPool2D(Layer):
+    """Average pooling with a square window (non-overlapping by default)."""
+
+    def __init__(self, pool_size: int = 2, stride: int | None = None) -> None:
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        self.pool_size = pool_size
+        self.stride = stride if stride is not None else pool_size
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(f"AvgPool2D expects NCHW, got shape {x.shape}")
+        n, c, h, w = x.shape
+        p, s = self.pool_size, self.stride
+        out_h = (h - p) // s + 1
+        out_w = (w - p) // s + 1
+        out = np.zeros((n, c, out_h, out_w))
+        for di in range(p):
+            for dj in range(p):
+                out += x[:, :, di : di + out_h * s : s, dj : dj + out_w * s : s]
+        out /= p * p
+        self._x_shape = x.shape
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._x_shape is not None, "backward before forward"
+        n, c, h, w = self._x_shape
+        p, s = self.pool_size, self.stride
+        out_h, out_w = grad.shape[2], grad.shape[3]
+        dx = np.zeros(self._x_shape)
+        piece = grad / (p * p)
+        for di in range(p):
+            for dj in range(p):
+                dx[:, :, di : di + out_h * s : s, dj : dj + out_w * s : s] += piece
+        return dx
+
+
+class _BatchNormBase(Layer):
+    """Shared batch-norm machinery; subclasses define the reduce axes."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        if num_features < 1:
+            raise ValueError("num_features must be >= 1")
+        if not 0.0 < momentum <= 1.0:
+            raise ValueError("momentum must be in (0, 1]")
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Param(np.ones(num_features), "gamma")
+        self.beta = Param(np.zeros(num_features), "beta")
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._cache: tuple | None = None
+
+    def params(self) -> list[Param]:
+        return [self.gamma, self.beta]
+
+    # Subclasses provide reshaping helpers.
+    def _axes(self) -> tuple[int, ...]:
+        raise NotImplementedError
+
+    def _expand(self, v: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        axes = self._axes()
+        if training:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            self.running_mean *= 1.0 - self.momentum
+            self.running_mean += self.momentum * mean
+            self.running_var *= 1.0 - self.momentum
+            self.running_var += self.momentum * var
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - self._expand(mean)) * self._expand(inv_std)
+        out = x_hat * self._expand(self.gamma.value) + self._expand(self.beta.value)
+        if training:
+            m = x.size // self.num_features
+            self._cache = (x_hat, inv_std, m)
+        else:
+            self._cache = (x_hat, inv_std, None)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._cache is not None, "backward before forward"
+        x_hat, inv_std, m = self._cache
+        axes = self._axes()
+        self.gamma.grad[...] = (grad * x_hat).sum(axis=axes)
+        self.beta.grad[...] = grad.sum(axis=axes)
+        g = grad * self._expand(self.gamma.value)
+        if m is None:
+            # Inference-mode backward: running stats are constants.
+            return g * self._expand(inv_std)
+        # Training-mode backward through the batch statistics.
+        sum_g = g.sum(axis=axes)
+        sum_gx = (g * x_hat).sum(axis=axes)
+        dx = (
+            g
+            - self._expand(sum_g) / m
+            - x_hat * self._expand(sum_gx) / m
+        ) * self._expand(inv_std)
+        return dx
+
+
+class BatchNorm1d(_BatchNormBase):
+    """Batch normalization over ``(batch, features)`` inputs."""
+
+    def _axes(self) -> tuple[int, ...]:
+        return (0,)
+
+    def _expand(self, v: np.ndarray) -> np.ndarray:
+        return v
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"BatchNorm1d expects (batch, {self.num_features}), got {x.shape}"
+            )
+        return super().forward(x, training)
+
+
+class BatchNorm2d(_BatchNormBase):
+    """Batch normalization over NCHW inputs (per channel)."""
+
+    def _axes(self) -> tuple[int, ...]:
+        return (0, 2, 3)
+
+    def _expand(self, v: np.ndarray) -> np.ndarray:
+        return v.reshape(1, -1, 1, 1)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"BatchNorm2d expects (batch, {self.num_features}, H, W), got {x.shape}"
+            )
+        return super().forward(x, training)
+
+
+# ---------------------------------------------------------------- training
+def apply_weight_decay(params: list[Param], decay: float) -> None:
+    """Add L2 regularization gradients in place: ``grad += decay * value``."""
+    if decay < 0:
+        raise ValueError("decay must be non-negative")
+    for p in params:
+        p.grad += decay * p.value
+
+
+def clip_gradients(params: list[Param], max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    total = math.sqrt(sum(float(np.sum(p.grad * p.grad)) for p in params))
+    if total > max_norm:
+        scale = max_norm / total
+        for p in params:
+            p.grad *= scale
+    return total
+
+
+class StepLR:
+    """Multiply the optimizer's lr by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        if not 0 < gamma <= 1:
+            raise ValueError("gamma must be in (0, 1]")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._count = 0
+
+    def step(self) -> None:
+        self._count += 1
+        if self._count % self.step_size == 0:
+            self.optimizer.lr *= self.gamma  # type: ignore[attr-defined]
+
+
+class CosineLR:
+    """Cosine annealing from the initial lr to ``min_lr`` over ``t_max`` steps."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, min_lr: float = 0.0) -> None:
+        if t_max < 1:
+            raise ValueError("t_max must be >= 1")
+        self.optimizer = optimizer
+        self.t_max = t_max
+        self.min_lr = min_lr
+        self.base_lr = float(optimizer.lr)  # type: ignore[attr-defined]
+        self._count = 0
+
+    def step(self) -> None:
+        self._count = min(self._count + 1, self.t_max)
+        frac = 0.5 * (1.0 + math.cos(math.pi * self._count / self.t_max))
+        self.optimizer.lr = self.min_lr + (self.base_lr - self.min_lr) * frac  # type: ignore[attr-defined]
+
+
+# ------------------------------------------------------------- checkpoints
+def save_model(model: Sequential, path: str) -> None:
+    """Write the flat parameter vector (and count) to a ``.npz`` file."""
+    np.savez(path, flat=get_flat_params(model), n_params=model.n_params)
+
+
+def load_model(model: Sequential, path: str) -> None:
+    """Restore parameters saved by :func:`save_model` into ``model``."""
+    data = np.load(path)
+    n = int(data["n_params"])
+    if n != model.n_params:
+        raise ValueError(
+            f"checkpoint has {n} params but the model has {model.n_params}"
+        )
+    set_flat_params(model, data["flat"])

@@ -1,0 +1,100 @@
+"""Optimizers.
+
+The paper trains with Adam at lr = 1e-4 (Sec. VI-A1).  All updates are
+performed in place on the parameter buffers so aggregation code that holds
+views of them observes the new values without copies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Param
+
+
+class Optimizer:
+    """Base class; subclasses implement :meth:`step`."""
+
+    def __init__(self, params: list[Param]) -> None:
+        self.params = list(params)
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad[...] = 0.0
+
+
+class SGD(Optimizer):
+    """Plain (optionally momentum) stochastic gradient descent."""
+
+    def __init__(
+        self, params: list[Param], lr: float = 0.01, momentum: float = 0.0
+    ) -> None:
+        super().__init__(params)
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.value) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if self.momentum:
+                v *= self.momentum
+                v -= self.lr * p.grad
+                p.value += v
+            else:
+                p.value -= self.lr * p.grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2015) with bias correction."""
+
+    def __init__(
+        self,
+        params: list[Param],
+        lr: float = 1e-4,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(params)
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if not (0 <= beta1 < 1 and 0 <= beta2 < 1):
+            raise ValueError("betas must be in [0, 1)")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.t = 0
+        self._m = [np.zeros_like(p.value) for p in self.params]
+        self._v = [np.zeros_like(p.value) for p in self.params]
+
+    def step(self) -> None:
+        self.t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1**self.t
+        bias2 = 1.0 - b2**self.t
+        for p, m, v in zip(self.params, self._m, self._v):
+            m *= b1
+            m += (1 - b1) * p.grad
+            v *= b2
+            v += (1 - b2) * np.square(p.grad)
+            # p -= lr * m_hat / (sqrt(v_hat) + eps), without temporaries
+            # larger than one parameter tensor.
+            update = m / bias1
+            update /= np.sqrt(v / bias2) + self.eps
+            update *= self.lr
+            p.value -= update
+
+    def reset_state(self) -> None:
+        """Clear moments (e.g. when the model is overwritten by FedAvg)."""
+        self.t = 0
+        for m, v in zip(self._m, self._v):
+            m[...] = 0.0
+            v[...] = 0.0

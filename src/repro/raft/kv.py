@@ -1,0 +1,147 @@
+"""A replicated key-value store on Raft — the classic state-machine demo.
+
+Shows the consensus substrate as a standalone component (Sec. III-C's
+"replicated state machine" framing) and doubles as the harness for the
+snapshot tests: the KV state is what ``InstallSnapshot`` ships to
+stragglers.
+
+Semantics: writes (``set``/``delete``) go through the leader's log and
+are applied once committed; reads are served from the local state
+machine.  ``consistent_read`` routes a no-op write first, giving
+linearizable reads at one commit's latency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from ..simnet import Network, Simulator
+from .cluster import RaftHost
+from .messages import LogEntry
+from .timers import RaftTiming
+
+_SET = "kv.set"
+_DELETE = "kv.delete"
+_BARRIER = "kv.barrier"
+
+
+class KVNode:
+    """One replica: a RaftHost plus the applied key-value state."""
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        network: Network,
+        members: list[int],
+        timing: RaftTiming,
+        rng: np.random.Generator,
+        snapshot_threshold: int | None = None,
+    ) -> None:
+        self.data: dict[str, Any] = {}
+        self._barriers_seen: set[int] = set()
+        self.host = RaftHost(
+            node_id, sim, network, members, timing, rng, on_apply=self._apply
+        )
+        self.raft = self.host.raft
+        self.raft.snapshot_threshold = snapshot_threshold
+        self.raft.take_state = lambda: dict(self.data)
+        self.raft.restore_state = self._restore
+
+    def _apply(self, index: int, entry: LogEntry) -> None:
+        cmd = entry.command
+        if not (isinstance(cmd, tuple) and cmd):
+            return
+        if cmd[0] == _SET:
+            self.data[cmd[1]] = cmd[2]
+        elif cmd[0] == _DELETE:
+            self.data.pop(cmd[1], None)
+        elif cmd[0] == _BARRIER:
+            self._barriers_seen.add(cmd[1])
+
+    def _restore(self, state: dict) -> None:
+        self.data = dict(state)
+
+    # ------------------------------------------------------------ client API
+    def set(self, key: str, value: Any) -> Optional[int]:
+        """Propose a write; returns the log index (None if not leader)."""
+        return self.raft.propose((_SET, key, value))
+
+    def delete(self, key: str) -> Optional[int]:
+        return self.raft.propose((_DELETE, key))
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Local (possibly stale) read."""
+        return self.data.get(key, default)
+
+    def propose_barrier(self, token: int) -> Optional[int]:
+        """Propose a barrier marker (leader only); once
+        :meth:`barrier_committed` turns true on this node, every write
+        proposed before the barrier is visible here."""
+        return self.raft.propose((_BARRIER, token))
+
+    def barrier_committed(self, token: int) -> bool:
+        return token in self._barriers_seen
+
+
+class KVCluster:
+    """Convenience builder: n KV replicas on one simulated network."""
+
+    def __init__(
+        self,
+        n: int,
+        timeout_base_ms: float = 50.0,
+        delay_ms: float = 15.0,
+        seed: int = 0,
+        snapshot_threshold: int | None = None,
+    ) -> None:
+        from ..simnet import FixedLatency, TraceRecorder
+
+        self.sim = Simulator()
+        rng = np.random.default_rng(seed)
+        self.network = Network(
+            self.sim, latency=FixedLatency(delay_ms), rng=rng,
+            trace=TraceRecorder(),
+        )
+        timing = RaftTiming(timeout_base_ms=timeout_base_ms)
+        members = list(range(n))
+        self.nodes = [
+            KVNode(
+                i, self.sim, self.network, members, timing,
+                np.random.default_rng(rng.integers(2**63)),
+                snapshot_threshold=snapshot_threshold,
+            )
+            for i in members
+        ]
+        for node in self.nodes:
+            node.raft.start()
+
+    def leader(self) -> Optional[KVNode]:
+        leaders = [
+            node
+            for node in self.nodes
+            if node.raft.is_leader
+            and not self.network.is_crashed(node.raft.node_id)
+        ]
+        return leaders[0] if len(leaders) == 1 else None
+
+    def run_until_leader(self, max_ms: float = 60_000.0) -> KVNode:
+        deadline = self.sim.now + max_ms
+        while self.sim.now < deadline:
+            node = self.leader()
+            if node is not None:
+                return node
+            self.sim.run_until(self.sim.now + 5.0)
+        raise TimeoutError("no leader elected")
+
+    def run_for(self, ms: float) -> None:
+        self.sim.run_until(self.sim.now + ms)
+
+    def crash(self, node_id: int) -> None:
+        self.nodes[node_id].raft.stop()
+        self.network.crash(node_id)
+
+    def recover(self, node_id: int) -> None:
+        self.network.recover(node_id)

@@ -1,0 +1,56 @@
+"""Timing parameters (paper Sec. VI-B1).
+
+The paper follows Raft's guidance ``broadcast time << candidate timeout
+<< MTBF`` and samples both the *follower timeout* (time without leader
+contact before declaring the leader absent) and the *candidate timeout*
+(time a peer remains a candidate before invoking the election) from
+``U(T, 2T)`` with T in {50, 100, 150, 200} ms.
+
+The paper's wording — "the peer starts an election when the [candidate]
+timeout is over" — describes the two timeouts as *sequential*: a
+follower first waits out its follower timeout, becomes a candidate, and
+only after its candidate timeout elapses does it increment its term and
+send RequestVote RPCs.  That reading also matches the measured election
+times ("about twice the maximum follower timeout" ~= 2T + 2T).  Textbook
+Raft starts the election immediately at candidacy; set
+``pre_election_wait=False`` for that behaviour (an ablation benchmark
+compares the two).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RaftTiming:
+    """Timeout configuration for one node."""
+
+    #: T: both timeouts are sampled from U(T, 2T) (paper Sec. VI-B1).
+    timeout_base_ms: float = 50.0
+    #: leader heartbeat period; defaults to T (<< the expected timeout).
+    heartbeat_interval_ms: float | None = None
+    #: paper semantics (sequential follower+candidate timeouts) vs
+    #: textbook Raft (immediate election at candidacy).
+    pre_election_wait: bool = True
+
+    def __post_init__(self) -> None:
+        if self.timeout_base_ms <= 0:
+            raise ValueError("timeout base must be positive")
+        if self.heartbeat_interval_ms is not None and self.heartbeat_interval_ms <= 0:
+            raise ValueError("heartbeat interval must be positive")
+
+    @property
+    def heartbeat_ms(self) -> float:
+        return (
+            self.heartbeat_interval_ms
+            if self.heartbeat_interval_ms is not None
+            else self.timeout_base_ms
+        )
+
+    def sample_timeout(self, rng: np.random.Generator) -> float:
+        """One draw of U(T, 2T) — used for both timeout kinds."""
+        t = self.timeout_base_ms
+        return float(rng.uniform(t, 2 * t))

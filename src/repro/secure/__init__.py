@@ -1,0 +1,63 @@
+"""Secret sharing and Secure Average Computation (SAC).
+
+Implements the paper's Alg. 1 (additive share splitting), Alg. 2 (SAC,
+n-out-of-n) and Alg. 4 (fault-tolerant SAC with k-out-of-n replicated
+additive secret sharing), both as pure NumPy functions (:mod:`.sac`,
+:mod:`.fault_tolerant`) and as message-passing actors on the simulated
+network (:mod:`.protocol`) for byte accounting and mid-round dropout
+injection.
+"""
+
+from .additive import divide, divide_zero_sum, reconstruct
+from .errors import SacAbort, SacReconstructionError
+from .fault_tolerant import FtSacResult, fault_tolerant_sac
+from .fixed_point import (
+    decode_fixed_point,
+    divide_ring,
+    encode_fixed_point,
+    reconstruct_ring,
+    sac_average_fixed_point,
+)
+from .protocol import ProtocolResult, run_sac_protocol
+from .replicated import (
+    holders_of_share,
+    peers_covering_all_shares,
+    recoverable,
+    share_assignment,
+    shares_held_by,
+)
+from .sac import SacResult, sac_average
+from .shamir import (
+    reconstruct_secret,
+    shamir_cost_bits,
+    shamir_sac_average,
+    share_secret,
+)
+
+__all__ = [
+    "divide",
+    "divide_zero_sum",
+    "reconstruct",
+    "SacAbort",
+    "SacReconstructionError",
+    "sac_average",
+    "SacResult",
+    "fault_tolerant_sac",
+    "FtSacResult",
+    "share_assignment",
+    "shares_held_by",
+    "holders_of_share",
+    "peers_covering_all_shares",
+    "recoverable",
+    "encode_fixed_point",
+    "decode_fixed_point",
+    "divide_ring",
+    "reconstruct_ring",
+    "sac_average_fixed_point",
+    "share_secret",
+    "reconstruct_secret",
+    "shamir_sac_average",
+    "shamir_cost_bits",
+    "run_sac_protocol",
+    "ProtocolResult",
+]

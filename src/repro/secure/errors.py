@@ -1,0 +1,36 @@
+"""Exceptions raised by the secure-aggregation protocols."""
+
+from __future__ import annotations
+
+
+class SacError(Exception):
+    """Base class for SAC failures."""
+
+
+class SacAbort(SacError):
+    """Raised when plain n-out-of-n SAC cannot proceed.
+
+    The paper (Sec. IV-C): *"Even if one peer is disconnected, the
+    aggregation must be aborted"* — the caller is expected to restart the
+    round with the remaining peers.
+    """
+
+    def __init__(self, crashed: set[int]) -> None:
+        self.crashed = frozenset(crashed)
+        super().__init__(f"SAC aborted; crashed peers: {sorted(crashed)}")
+
+
+class SacReconstructionError(SacError):
+    """Raised when more than ``n - k`` peers dropped in k-out-of-n SAC.
+
+    Some subtotal index has no surviving replica holder, so the secret
+    average cannot be reconstructed.
+    """
+
+    def __init__(self, missing_shares: set[int], crashed: set[int]) -> None:
+        self.missing_shares = frozenset(missing_shares)
+        self.crashed = frozenset(crashed)
+        super().__init__(
+            f"cannot reconstruct subtotals {sorted(missing_shares)}; "
+            f"crashed peers: {sorted(crashed)}"
+        )

@@ -1,0 +1,298 @@
+"""SAC as a message-passing protocol on the simulated network.
+
+The functional implementations (:mod:`.sac`, :mod:`.fault_tolerant`)
+compute what SAC produces; this module executes *how* — share bundles and
+subtotals as timed messages over :mod:`repro.simnet`, with peers crashing
+mid-round, leader-side timeouts, and recovery fetches from replica
+holders (Alg. 4 lines 17-18).  It validates three things the functional
+form cannot: wall-clock behaviour, byte accounting on a real wire, and
+the dropout-timing semantics of Fig. 3.
+
+Timeline of one round (k-out-of-n, leader ``L``):
+
+1. ``t=0``: every peer splits its model and sends each peer ``j`` the
+   bundle of share indices ``j .. j+n-k (mod n)``.
+2. On receiving all ``n-1`` bundles a peer computes the subtotals for its
+   held indices; non-leaders send their *primary* subtotal to ``L``.
+3. ``L`` assembles all ``n`` subtotals.  If some are still missing after
+   ``subtotal_timeout_ms`` (crashed primaries), it fetches them from
+   surviving replica holders.
+4. ``L`` averages and the round completes.
+
+A peer that crashes *before* its bundles go out makes the round
+unrecoverable (its model's shares are gone); the leader reports failure
+after ``round_timeout_ms`` — the caller restarts with the survivors, as
+in the plain-SAC abort path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..simnet import FixedLatency, Network, SimNode, Simulator, TraceRecorder
+from .additive import divide
+from .replicated import holders_of_share, shares_held_by
+from .sac import DEFAULT_BITS_PER_PARAM
+
+
+@dataclass(frozen=True)
+class SharesBundle:
+    origin: int
+    shares: dict  # share index -> np.ndarray
+
+    def size_bits(self) -> float:
+        return float(
+            sum(np.asarray(v).size for v in self.shares.values())
+            * DEFAULT_BITS_PER_PARAM
+        )
+
+
+@dataclass(frozen=True)
+class Subtotal:
+    index: int
+    value: np.ndarray
+
+    def size_bits(self) -> float:
+        return float(np.asarray(self.value).size * DEFAULT_BITS_PER_PARAM)
+
+
+@dataclass(frozen=True)
+class RecoveryRequest:
+    index: int
+
+    def size_bits(self) -> float:
+        return 64.0
+
+
+@dataclass(frozen=True)
+class ProtocolResult:
+    """Outcome of one simulated SAC round."""
+
+    average: Optional[np.ndarray]
+    completed: bool
+    finish_time_ms: Optional[float]
+    bits_sent: float
+    messages_sent: int
+    recovered_shares: tuple[int, ...]
+
+    @property
+    def gigabits(self) -> float:
+        return self.bits_sent / 1e9
+
+
+class SacProtocolPeer(SimNode):
+    """One subgroup member executing Alg. 4 on the wire.
+
+    ``members`` lists the global network ids of the subgroup (defaulting
+    to ``0..n-1``); share indices are member *positions*, so the same
+    actor works standalone or embedded in a larger multi-group network.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        network: Network,
+        n: int,
+        k: int,
+        leader: int,
+        model: np.ndarray,
+        rng: np.random.Generator,
+        subtotal_timeout_ms: float,
+        members: list[int] | None = None,
+    ) -> None:
+        super().__init__(node_id, sim, network)
+        self.n = n
+        self.k = k
+        self.members = list(members) if members is not None else list(range(n))
+        if len(self.members) != n:
+            raise ValueError("members must list exactly n peers")
+        self.position = self.members.index(node_id)
+        self.leader = leader  # global id
+        self.leader_pos = self.members.index(leader)
+        self.model = np.asarray(model, dtype=np.float64)
+        self.rng = rng
+        self.subtotal_timeout_ms = subtotal_timeout_ms
+        self.held = set(shares_held_by(self.position, n, k))
+        self._bundles: dict[int, dict] = {}
+        self._subtotals: dict[int, np.ndarray] = {}
+        self._sent_primary = False
+        self._recovery_pending: set[int] = set()
+        self.recovered: set[int] = set()
+        self.average: Optional[np.ndarray] = None
+        self.finish_time: Optional[float] = None
+
+    # ------------------------------------------------------------- phase 1
+    def start_round(self) -> None:
+        shares = divide(self.model, self.n, self.rng)
+        my_bundle = {}
+        for j in range(self.n):
+            bundle = {
+                idx: shares[idx] for idx in shares_held_by(j, self.n, self.k)
+            }
+            if j == self.position:
+                my_bundle = bundle
+            else:
+                msg = SharesBundle(self.position, bundle)
+                self.send(
+                    self.members[j], msg, size_bits=msg.size_bits(),
+                    kind="sac.share",
+                )
+        self._accept_bundle(self.position, my_bundle)
+
+    def _accept_bundle(self, origin: int, shares: dict) -> None:
+        if origin in self._bundles:
+            return
+        self._bundles[origin] = shares
+        if len(self._bundles) == self.n:
+            self._compute_subtotals()
+
+    # ------------------------------------------------------------- phase 2
+    def _compute_subtotals(self) -> None:
+        for idx in self.held:
+            total = None
+            for origin in range(self.n):
+                part = self._bundles[origin][idx]
+                total = part.copy() if total is None else total + part
+            self._subtotals[idx] = total
+        leader_holds = set(shares_held_by(self.leader_pos, self.n, self.k))
+        if (
+            self.position != self.leader_pos
+            and not self._sent_primary
+            and self.position not in leader_holds
+        ):
+            # Alg. 4 lines 14-16: only the k-1 peers whose primary
+            # subtotal the leader does not hold itself send theirs.
+            self._sent_primary = True
+            msg = Subtotal(self.position, self._subtotals[self.position])
+            self.send(self.leader, msg, size_bits=msg.size_bits(), kind="sac.subtotal")
+        if self.position == self.leader_pos:
+            # Arm the dropout detector (Alg. 4 line 17) and finish right
+            # away if this peer already holds every subtotal (k = 1).
+            self.set_timer(self.subtotal_timeout_ms, self._check_missing)
+            self._maybe_finish()
+
+    # ------------------------------------------------- phase 3 (leader only)
+    def _check_missing(self) -> None:
+        missing = set(range(self.n)) - set(self._subtotals)
+        for idx in sorted(missing):
+            holders = [
+                h
+                for h in holders_of_share(idx, self.n, self.k)
+                if h != self.position
+                and not self.network.is_crashed(self.members[h])
+            ]
+            if holders and idx not in self._recovery_pending:
+                self._recovery_pending.add(idx)
+                req = RecoveryRequest(idx)
+                self.send(
+                    self.members[holders[0]], req,
+                    size_bits=req.size_bits(), kind="sac.recover",
+                )
+        if missing:
+            self.set_timer(self.subtotal_timeout_ms, self._check_missing)
+
+    def _maybe_finish(self) -> None:
+        if self.position != self.leader_pos or self.average is not None:
+            return
+        if len(self._subtotals) < self.n:
+            return
+        total = None
+        for idx in range(self.n):
+            v = self._subtotals[idx]
+            total = v.copy() if total is None else total + v
+        total /= self.n
+        self.average = total
+        self.finish_time = self.sim.now
+        self.on_average(total)
+
+    def on_average(self, average: np.ndarray) -> None:
+        """Hook for embedding protocols (e.g. the two-layer round)."""
+
+    # -------------------------------------------------------------- inbound
+    def on_message(self, src: int, msg) -> None:
+        if isinstance(msg, SharesBundle):
+            self._accept_bundle(msg.origin, msg.shares)
+        elif isinstance(msg, Subtotal):
+            if msg.index in self._recovery_pending:
+                self.recovered.add(msg.index)
+                self._recovery_pending.discard(msg.index)
+            self._subtotals[msg.index] = msg.value
+            self._maybe_finish()
+        elif isinstance(msg, RecoveryRequest):
+            if msg.index in self._subtotals:
+                reply = Subtotal(msg.index, self._subtotals[msg.index])
+                self.send(src, reply, size_bits=reply.size_bits(), kind="sac.subtotal")
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown SAC message {type(msg).__name__}")
+
+
+def run_sac_protocol(
+    models: Sequence[np.ndarray],
+    k: int,
+    leader: int = 0,
+    delay_ms: float = 15.0,
+    seed: int = 0,
+    crash_at: dict[int, float] | None = None,
+    subtotal_timeout_ms: float = 100.0,
+    round_timeout_ms: float = 10_000.0,
+    bandwidth_bps: float | None = None,
+    serialize_uplink: bool = False,
+) -> ProtocolResult:
+    """Execute one k-out-of-n SAC round on the simulated network.
+
+    Parameters
+    ----------
+    models:
+        One weight vector per peer.
+    crash_at:
+        ``{peer_id: time_ms}`` crash injection (relative to round start).
+    subtotal_timeout_ms:
+        How long the leader waits for missing subtotals before fetching
+        them from replica holders.
+    """
+    n = len(models)
+    if not 1 <= k <= n:
+        raise ValueError(f"need 1 <= k <= n, got k={k}, n={n}")
+    if not 0 <= leader < n:
+        raise ValueError("leader out of range")
+    if crash_at and leader in crash_at:
+        raise ValueError("crashing the leader needs Raft re-election, not SAC")
+
+    sim = Simulator()
+    trace = TraceRecorder()
+    rng = np.random.default_rng(seed)
+    network = Network(
+        sim, latency=FixedLatency(delay_ms), rng=rng, trace=trace,
+        bandwidth_bps=bandwidth_bps, serialize_uplink=serialize_uplink,
+    )
+    peers = [
+        SacProtocolPeer(
+            i, sim, network, n, k, leader, models[i],
+            np.random.default_rng(rng.integers(2**63)),
+            subtotal_timeout_ms,
+        )
+        for i in range(n)
+    ]
+    for peer in peers:
+        sim.schedule(0.0, peer.start_round)
+    for pid, t in (crash_at or {}).items():
+        sim.schedule(t, lambda pid=pid: network.crash(pid))
+
+    leader_peer = peers[leader]
+    sim.run_while(
+        lambda: leader_peer.average is None and sim.now < round_timeout_ms
+    )
+    completed = leader_peer.average is not None
+    recovered = tuple(sorted(leader_peer.recovered))
+    return ProtocolResult(
+        average=leader_peer.average,
+        completed=completed,
+        finish_time_ms=leader_peer.finish_time,
+        bits_sent=trace.total_bits,
+        messages_sent=trace.total_messages,
+        recovered_shares=recovered,
+    )

@@ -1,0 +1,98 @@
+"""k-out-of-n replicated additive secret sharing — share-placement combinatorics.
+
+In the paper's fault-tolerant SAC (Alg. 4, lines 3–9) each peer ``j``
+receives the ``n - k + 1`` *consecutive* share indices
+``j, j+1, …, j+(n-k) (mod n)`` of every other peer's model.  Consequently
+share index ``s`` is replicated on the ``n - k + 1`` peers
+``s-(n-k), …, s (mod n)``, so any ``k`` surviving peers still hold all
+``n`` share indices between them — the aggregation survives up to
+``n - k`` crashes.
+
+This module isolates that placement logic so both the functional and the
+message-passing SAC implementations (and the property-based tests) share
+one source of truth.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+
+def _check(n: int, k: int) -> None:
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    if not 1 <= k <= n:
+        raise ValueError(f"need 1 <= k <= n, got k={k}, n={n}")
+
+
+def shares_held_by(peer: int, n: int, k: int) -> list[int]:
+    """Share indices stored by ``peer`` (its own plus received bundles)."""
+    _check(n, k)
+    if not 0 <= peer < n:
+        raise ValueError(f"peer index {peer} out of range for n={n}")
+    return [(peer + t) % n for t in range(n - k + 1)]
+
+
+def holders_of_share(share: int, n: int, k: int) -> list[int]:
+    """Peers that hold share index ``share`` (the replica group)."""
+    _check(n, k)
+    if not 0 <= share < n:
+        raise ValueError(f"share index {share} out of range for n={n}")
+    return [(share - t) % n for t in range(n - k + 1)]
+
+
+def share_assignment(n: int, k: int) -> dict[int, list[int]]:
+    """Full placement map ``peer -> share indices held``."""
+    _check(n, k)
+    return {peer: shares_held_by(peer, n, k) for peer in range(n)}
+
+
+def recoverable(crashed: set[int], n: int, k: int) -> bool:
+    """Whether the average can still be reconstructed after ``crashed`` drop.
+
+    True iff every share index has at least one surviving holder.  With
+    consecutive placement this is equivalent to ``len(crashed) <= n - k``
+    *only when crashes are arbitrary*; the placement actually tolerates
+    some larger crash sets too (e.g. crashes that share replica groups),
+    which the property tests exercise.
+    """
+    _check(n, k)
+    alive = set(range(n)) - set(crashed)
+    if not alive:
+        return False
+    held: set[int] = set()
+    for peer in alive:
+        held.update(shares_held_by(peer, n, k))
+    return len(held) == n
+
+
+def missing_shares(crashed: set[int], n: int, k: int) -> set[int]:
+    """Share indices with no surviving holder."""
+    _check(n, k)
+    alive = set(range(n)) - set(crashed)
+    held: set[int] = set()
+    for peer in alive:
+        held.update(shares_held_by(peer, n, k))
+    return set(range(n)) - held
+
+
+def peers_covering_all_shares(n: int, k: int) -> int:
+    """Smallest alive-set size guaranteed to cover all shares: exactly ``k``.
+
+    Verified exhaustively for small ``n`` in the tests; provided as a
+    helper for the fault-tolerance analysis (Sec. VII-D).
+    """
+    _check(n, k)
+    # Any k alive peers cover all shares; k-1 specific peers may not.
+    return k
+
+
+def worst_case_tolerated_crashes(n: int, k: int) -> int:
+    """Maximum f such that *every* crash set of size f is recoverable."""
+    _check(n, k)
+    for f in range(n, -1, -1):
+        if all(
+            recoverable(set(c), n, k) for c in combinations(range(n), f)
+        ):
+            return f
+    return 0

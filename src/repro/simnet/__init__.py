@@ -1,0 +1,43 @@
+"""Discrete-event network simulation substrate.
+
+This package replaces the paper's single-machine deployment of virtual
+peers over TCP with ``tc``-injected latency (Sec. VI-B1).  It provides:
+
+- a virtual millisecond clock and cancellable event heap (:mod:`.events`),
+- a message-passing network with pluggable latency models, crash and
+  partition injection (:mod:`.network`),
+- an actor base class for protocol nodes (:mod:`.node`), and
+- per-message byte accounting used by the communication-cost experiments
+  (:mod:`.trace`).
+
+All randomness flows through explicit :class:`numpy.random.Generator`
+instances so that every simulation is reproducible bit-for-bit.
+"""
+
+from .events import Event, EventQueue, Simulator, TimerHandle
+from .network import (
+    FixedLatency,
+    GaussianLatency,
+    LatencyMatrix,
+    LatencyModel,
+    Network,
+    UniformLatency,
+)
+from .node import SimNode
+from .trace import MessageRecord, TraceRecorder
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "TimerHandle",
+    "LatencyModel",
+    "FixedLatency",
+    "UniformLatency",
+    "GaussianLatency",
+    "LatencyMatrix",
+    "Network",
+    "SimNode",
+    "MessageRecord",
+    "TraceRecorder",
+]

@@ -1,0 +1,291 @@
+"""Simulated network: latency models, delivery, crashes and partitions.
+
+The paper's evaluation injects a fixed 15 ms one-way delay with ``tc``
+(Sec. VI-B1).  :class:`FixedLatency` reproduces that; other models support
+sensitivity studies.  Crash injection marks a node dead so that messages
+to and from it are silently dropped — exactly how a crashed process looks
+to its peers over TCP with no connection reuse.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from .events import Simulator
+from .trace import MessageRecord, TraceRecorder
+
+#: Default one-way network delay in milliseconds (paper Sec. VI-B1).
+DEFAULT_DELAY_MS = 15.0
+
+
+@runtime_checkable
+class LatencyModel(Protocol):
+    """Samples a one-way delay in milliseconds for a (src, dst) pair."""
+
+    def sample(self, src: int, dst: int, rng: np.random.Generator) -> float: ...
+
+
+class FixedLatency:
+    """Constant one-way delay (the paper uses 15 ms via ``tc``)."""
+
+    def __init__(self, delay_ms: float = DEFAULT_DELAY_MS) -> None:
+        if delay_ms < 0:
+            raise ValueError("delay must be non-negative")
+        self.delay_ms = delay_ms
+
+    def sample(self, src: int, dst: int, rng: np.random.Generator) -> float:
+        return self.delay_ms
+
+
+class UniformLatency:
+    """One-way delay ~ U(lo, hi) ms."""
+
+    def __init__(self, lo_ms: float, hi_ms: float) -> None:
+        if not 0 <= lo_ms <= hi_ms:
+            raise ValueError("need 0 <= lo <= hi")
+        self.lo_ms = lo_ms
+        self.hi_ms = hi_ms
+
+    def sample(self, src: int, dst: int, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.lo_ms, self.hi_ms))
+
+
+class GaussianLatency:
+    """One-way delay ~ N(mean, std) ms, truncated at ``floor_ms``."""
+
+    def __init__(self, mean_ms: float, std_ms: float, floor_ms: float = 0.1) -> None:
+        self.mean_ms = mean_ms
+        self.std_ms = std_ms
+        self.floor_ms = floor_ms
+
+    def sample(self, src: int, dst: int, rng: np.random.Generator) -> float:
+        return max(self.floor_ms, float(rng.normal(self.mean_ms, self.std_ms)))
+
+
+class LatencyMatrix:
+    """Per-(src, dst) one-way delays — heterogeneous/geo-distributed peers.
+
+    ``matrix[src][dst]`` gives the base delay; optional multiplicative
+    ``jitter`` draws U(1, 1+jitter) per message.  Pairs absent from the
+    matrix fall back to ``default_ms``.
+    """
+
+    def __init__(
+        self,
+        matrix: dict[tuple[int, int], float] | np.ndarray,
+        default_ms: float = DEFAULT_DELAY_MS,
+        jitter: float = 0.0,
+    ) -> None:
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        if isinstance(matrix, np.ndarray):
+            if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+                raise ValueError("latency matrix must be square")
+            if (matrix < 0).any():
+                raise ValueError("latencies must be non-negative")
+            self._lookup = {
+                (i, j): float(matrix[i, j])
+                for i in range(matrix.shape[0])
+                for j in range(matrix.shape[1])
+            }
+        else:
+            bad = [v for v in matrix.values() if v < 0]
+            if bad:
+                raise ValueError("latencies must be non-negative")
+            self._lookup = {k: float(v) for k, v in matrix.items()}
+        self.default_ms = default_ms
+        self.jitter = jitter
+
+    def sample(self, src: int, dst: int, rng: np.random.Generator) -> float:
+        base = self._lookup.get((src, dst), self.default_ms)
+        if self.jitter:
+            base *= float(rng.uniform(1.0, 1.0 + self.jitter))
+        return base
+
+
+class Network:
+    """Message fabric connecting :class:`~repro.simnet.node.SimNode` actors.
+
+    Parameters
+    ----------
+    sim:
+        The event loop driving delivery.
+    latency:
+        One-way delay model (defaults to the paper's fixed 15 ms).
+    rng:
+        Source of randomness for latency jitter and message loss.
+    loss_rate:
+        Probability that any given message is silently dropped.
+    trace:
+        Optional byte-accounting recorder.
+    bandwidth_bps:
+        Optional link bandwidth in bits per second.  When set, delivery
+        takes ``latency + size_bits / bandwidth`` — model-sized payloads
+        then dominate wall-clock time, as on a real network.  ``None``
+        (default) models infinitely fast links, matching the paper's
+        control-plane experiments where only the 15 ms latency matters.
+    serialize_uplink:
+        With a bandwidth set, also serialize each sender's outgoing
+        transfers on its uplink (a peer pushing to many receivers sends
+        one model at a time) — the first-order model of a P2P swarm that
+        :mod:`repro.core.latency` analyzes.  Off by default: transfers
+        to distinct receivers proceed in parallel.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: LatencyModel | None = None,
+        rng: np.random.Generator | None = None,
+        loss_rate: float = 0.0,
+        trace: TraceRecorder | None = None,
+        bandwidth_bps: float | None = None,
+        serialize_uplink: bool = False,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        if bandwidth_bps is not None and bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if serialize_uplink and bandwidth_bps is None:
+            raise ValueError("serialize_uplink requires a bandwidth")
+        self.sim = sim
+        self.latency = latency if latency is not None else FixedLatency()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.loss_rate = loss_rate
+        self.trace = trace if trace is not None else TraceRecorder()
+        self.bandwidth_bps = bandwidth_bps
+        self.serialize_uplink = serialize_uplink
+        self._uplink_free: Dict[int, float] = {}
+        self._nodes: Dict[int, Any] = {}
+        self._crashed: set[int] = set()
+        self._partition: Optional[dict[int, int]] = None
+
+    # ------------------------------------------------------------------ nodes
+    def register(self, node: Any) -> None:
+        """Register an actor exposing ``node_id`` and ``deliver(src, msg)``."""
+        node_id = node.node_id
+        if node_id in self._nodes:
+            raise ValueError(f"duplicate node id {node_id}")
+        self._nodes[node_id] = node
+
+    def node(self, node_id: int) -> Any:
+        return self._nodes[node_id]
+
+    def node_ids(self) -> list[int]:
+        return sorted(self._nodes)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    # ----------------------------------------------------------------- faults
+    def crash(self, node_id: int) -> None:
+        """Crash a node: it stops sending and receiving until recovered."""
+        self._crashed.add(node_id)
+        node = self._nodes.get(node_id)
+        if node is not None and hasattr(node, "on_crash"):
+            node.on_crash()
+
+    def recover(self, node_id: int) -> None:
+        """Bring a crashed node back (it rejoins with its durable state)."""
+        self._crashed.discard(node_id)
+        node = self._nodes.get(node_id)
+        if node is not None and hasattr(node, "on_recover"):
+            node.on_recover()
+
+    def is_crashed(self, node_id: int) -> bool:
+        return node_id in self._crashed
+
+    def alive_ids(self) -> list[int]:
+        return [i for i in self.node_ids() if i not in self._crashed]
+
+    def set_partition(self, groups: list[list[int]] | None) -> None:
+        """Partition the network into isolated groups (``None`` heals it).
+
+        Nodes not listed in any group can talk to nobody.
+        """
+        if groups is None:
+            self._partition = None
+            return
+        mapping: dict[int, int] = {}
+        for gi, group in enumerate(groups):
+            for node_id in group:
+                if node_id in mapping:
+                    raise ValueError(f"node {node_id} in multiple partition groups")
+                mapping[node_id] = gi
+        self._partition = mapping
+
+    def link_up(self, src: int, dst: int) -> bool:
+        """Whether a message from ``src`` can currently reach ``dst``."""
+        if src in self._crashed or dst in self._crashed:
+            return False
+        if self._partition is not None:
+            gs = self._partition.get(src)
+            gd = self._partition.get(dst)
+            if gs is None or gd is None or gs != gd:
+                return False
+        return True
+
+    # ------------------------------------------------------------------- send
+    def send(
+        self,
+        src: int,
+        dst: int,
+        msg: Any,
+        size_bits: float = 0.0,
+        kind: str = "msg",
+    ) -> None:
+        """Send ``msg`` from ``src`` to ``dst`` with the modelled latency.
+
+        Delivery is skipped if either endpoint is crashed *at send or at
+        delivery time*, if the link is partitioned, or if the message is
+        lost.  ``size_bits`` feeds the communication-cost trace; control
+        messages may leave it at 0.
+        """
+        if dst not in self._nodes:
+            raise KeyError(f"unknown destination node {dst}")
+        if not self.link_up(src, dst):
+            self.trace.record(
+                MessageRecord(self.sim.now, src, dst, kind, size_bits, delivered=False)
+            )
+            return
+        if self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
+            self.trace.record(
+                MessageRecord(self.sim.now, src, dst, kind, size_bits, delivered=False)
+            )
+            return
+        delay = self.latency.sample(src, dst, self.rng)
+        if self.bandwidth_bps is not None and size_bits > 0:
+            transfer_ms = 1000.0 * size_bits / self.bandwidth_bps
+            if self.serialize_uplink:
+                start = max(self.sim.now, self._uplink_free.get(src, 0.0))
+                self._uplink_free[src] = start + transfer_ms
+                delay += (start - self.sim.now) + transfer_ms
+            else:
+                delay += transfer_ms
+
+        def deliver() -> None:
+            # The destination may have crashed while the message was in
+            # flight; a real TCP stack would RST, we just drop.
+            if not self.link_up(src, dst):
+                return
+            self.trace.record(
+                MessageRecord(self.sim.now, src, dst, kind, size_bits, delivered=True)
+            )
+            self._nodes[dst].deliver(src, msg)
+
+        self.sim.schedule(delay, deliver)
+
+    def broadcast(
+        self,
+        src: int,
+        dsts: list[int],
+        msg: Any,
+        size_bits: float = 0.0,
+        kind: str = "msg",
+    ) -> None:
+        """Send the same message to every node in ``dsts`` (excluding ``src``)."""
+        for dst in dsts:
+            if dst != src:
+                self.send(src, dst, msg, size_bits=size_bits, kind=kind)

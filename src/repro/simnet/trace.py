@@ -1,0 +1,99 @@
+"""Per-message byte accounting.
+
+The communication-cost figures of the paper (Fig. 13, Fig. 14) count the
+bits crossing the network per aggregation round.  Every message delivered
+by :class:`repro.simnet.network.Network` is reported here, tagged with a
+free-form ``kind`` (e.g. ``"sac.share"``, ``"raft.append_entries"``) so
+experiments can slice costs by protocol and layer.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """One delivered (or dropped) message."""
+
+    time: float
+    src: int
+    dst: int
+    kind: str
+    bits: float
+    delivered: bool = True
+
+
+class TraceRecorder:
+    """Accumulates :class:`MessageRecord` and aggregates bit counts.
+
+    Recording full per-message history is optional (``keep_records``);
+    aggregate counters are always maintained, so long simulations can run
+    with O(1) memory.
+    """
+
+    def __init__(self, keep_records: bool = False) -> None:
+        self.keep_records = keep_records
+        self.records: list[MessageRecord] = []
+        self._bits_by_kind: dict[str, float] = defaultdict(float)
+        self._msgs_by_kind: dict[str, int] = defaultdict(int)
+        self.total_bits = 0.0
+        self.total_messages = 0
+
+    def record(self, rec: MessageRecord) -> None:
+        if self.keep_records:
+            self.records.append(rec)
+        if rec.delivered:
+            self._bits_by_kind[rec.kind] += rec.bits
+            self._msgs_by_kind[rec.kind] += 1
+            self.total_bits += rec.bits
+            self.total_messages += 1
+
+    def bits(self, kind: str | None = None, prefix: str | None = None) -> float:
+        """Total delivered bits, optionally filtered by exact kind or prefix."""
+        if kind is not None:
+            return self._bits_by_kind.get(kind, 0.0)
+        if prefix is not None:
+            return sum(
+                v for k, v in self._bits_by_kind.items() if k.startswith(prefix)
+            )
+        return self.total_bits
+
+    def messages(self, kind: str | None = None, prefix: str | None = None) -> int:
+        """Number of delivered messages, optionally filtered."""
+        if kind is not None:
+            return self._msgs_by_kind.get(kind, 0)
+        if prefix is not None:
+            return sum(
+                v for k, v in self._msgs_by_kind.items() if k.startswith(prefix)
+            )
+        return self.total_messages
+
+    def kinds(self) -> Iterator[str]:
+        return iter(sorted(self._bits_by_kind))
+
+    def by_kind(self) -> dict[str, float]:
+        """Copy of the bits-per-kind table."""
+        return dict(self._bits_by_kind)
+
+    def reset(self) -> None:
+        """Zero all counters (e.g. between aggregation rounds)."""
+        self.records.clear()
+        self._bits_by_kind.clear()
+        self._msgs_by_kind.clear()
+        self.total_bits = 0.0
+        self.total_messages = 0
+
+    def merge(self, others: Iterable["TraceRecorder"]) -> None:
+        """Fold aggregate counters of ``others`` into this recorder."""
+        for other in others:
+            for k, v in other._bits_by_kind.items():
+                self._bits_by_kind[k] += v
+            for k, c in other._msgs_by_kind.items():
+                self._msgs_by_kind[k] += c
+            self.total_bits += other.total_bits
+            self.total_messages += other.total_messages
+            if self.keep_records:
+                self.records.extend(other.records)

@@ -1,0 +1,34 @@
+"""System-level messages and log-entry tags of the two-layer Raft."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Subgroup log entries carrying the FedAvg-layer configuration (the
+#: "IP addresses and IDs of peers in FedAvg layer" of Sec. V-A1):
+#: ``(FEDAVG_CONFIG, (id, id, ...))``.
+FEDAVG_CONFIG = "fedavg.config"
+
+
+@dataclass(frozen=True)
+class JoinRequest:
+    """A new subgroup leader asking to be absorbed into the FedAvg layer.
+
+    Also doubles as the periodic "is a FedAvg leader present?" probe of
+    Sec. V-B1 (sent every 100 ms by default).
+    """
+
+    peer_id: int
+
+    def size_bits(self) -> float:
+        return 128.0
+
+
+@dataclass(frozen=True)
+class JoinRedirect:
+    """A FedAvg follower pointing the joiner at the current leader."""
+
+    leader_id: int
+
+    def size_bits(self) -> float:
+        return 128.0

@@ -1,0 +1,94 @@
+"""Tests for the Sec. VII-D fault-tolerance analysis."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    fedavg_layer_tolerance,
+    optimistic_max_faults,
+    subgroup_tolerance,
+    system_operational,
+    tolerance_curve,
+)
+from repro.core import Topology
+
+
+class TestThresholds:
+    def test_subgroup_tolerance(self):
+        assert subgroup_tolerance(5) == 2
+        assert subgroup_tolerance(3) == 1
+        assert subgroup_tolerance(1) == 0
+
+    def test_fedavg_tolerance(self):
+        assert fedavg_layer_tolerance(5) == 2
+
+    def test_optimistic_bound_paper_case(self):
+        # N=25, n=5, m=5: m(floor((n-1)/2)+1) = 5*3 = 15.
+        assert optimistic_max_faults(5, 5) == 15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            subgroup_tolerance(0)
+        with pytest.raises(ValueError):
+            fedavg_layer_tolerance(0)
+        with pytest.raises(ValueError):
+            optimistic_max_faults(0, 5)
+
+
+class TestSystemOperational:
+    def topo(self):
+        return Topology.by_group_count(15, 3)  # 3 groups of 5
+
+    def test_no_crashes_operational(self):
+        assert system_operational(self.topo(), set())
+
+    def test_follower_only_crashes_up_to_optimistic_bound(self):
+        """Crashing every follower but keeping leaders leaves the system
+        aggregating (the optimistic regime)."""
+        topo = self.topo()
+        followers = {
+            p for g in topo.groups for p in g[1:]
+        }
+        assert system_operational(topo, followers)
+
+    def test_leader_crash_with_quorum_recovers(self):
+        topo = self.topo()
+        # Crash one subgroup leader only: majority of the group remains.
+        assert system_operational(topo, {topo.leaders[1]})
+
+    def test_leader_crash_without_quorum_fails(self):
+        topo = self.topo()
+        group = topo.groups[1]
+        crashed = set(group[:3])  # leader + 2 followers of 5 -> 2 alive < 3
+        assert not system_operational(topo, crashed)
+
+    def test_fedavg_majority_loss_fails(self):
+        topo = self.topo()  # 3 leaders; losing 2 kills the FedAvg layer
+        crashed = {topo.leaders[0], topo.leaders[1]}
+        assert not system_operational(topo, crashed)
+
+    def test_fedavg_tolerates_minority_leader_loss(self):
+        topo = Topology.by_group_count(25, 5)  # 5 leaders, tolerate 2
+        crashed = {topo.leaders[0], topo.leaders[1]}
+        assert system_operational(topo, crashed)
+
+    def test_exhaustive_single_and_double_crashes_paper_topology(self):
+        topo = Topology.by_group_count(25, 5)
+        for f in (1, 2):
+            for crashed in combinations(range(25), f):
+                # With n=5, m=5: any <= 2 crashes are survivable.
+                assert system_operational(topo, set(crashed)), crashed
+
+
+class TestToleranceCurve:
+    def test_monotone_nonincreasing_and_boundaries(self):
+        topo = Topology.by_group_count(15, 3)
+        curve = tolerance_curve(topo, np.random.default_rng(0), trials_per_point=100)
+        fractions = [frac for _, frac in curve]
+        assert fractions[0] == 1.0
+        assert fractions[-1] == 0.0
+        # Availability should broadly decay with more faults (allow small
+        # Monte Carlo wiggle).
+        assert fractions[2] >= fractions[10] - 0.05

@@ -1,0 +1,47 @@
+"""Tests for the semi-honest privacy analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.privacy import (
+    estimate_leaked_bits,
+    ring_share_correlation,
+    share_secret_correlation,
+    sign_leakage,
+)
+from repro.secure.additive import divide, divide_zero_sum
+
+RNG = lambda seed=0: np.random.default_rng(seed)
+
+
+class TestCorrelation:
+    def test_alg1_shares_strongly_correlated_with_secret(self):
+        rho = share_secret_correlation(divide, n=3, rng=RNG(0), trials=800)
+        assert rho > 0.8  # shares are fractions of the secret
+
+    def test_ring_shares_uncorrelated(self):
+        rho = ring_share_correlation(n=3, rng=RNG(1), trials=800)
+        assert abs(rho) < 0.1
+
+    def test_zero_sum_masks_uncorrelated(self):
+        rho = share_secret_correlation(
+            divide_zero_sum, n=3, rng=RNG(2), trials=800
+        )
+        assert abs(rho) < 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            share_secret_correlation(divide, n=1, rng=RNG())
+
+
+class TestSignLeakage:
+    def test_alg1_leaks_the_sign(self):
+        assert sign_leakage(n=3, rng=RNG(3), trials=500) > 0.95
+
+    def test_interpretation_helpers(self):
+        # Perfect correlation -> many bits; zero correlation -> ~0 bits.
+        assert estimate_leaked_bits(0.999) > 4.0
+        assert estimate_leaked_bits(0.0) == 0.0
+        assert estimate_leaked_bits(0.02) < 0.001
+        # Monotone in |rho|.
+        assert estimate_leaked_bits(0.9) > estimate_leaked_bits(0.5)

@@ -1,0 +1,103 @@
+"""Tests for the X-layer aggregation of Sec. VII-C."""
+
+import numpy as np
+import pytest
+
+from repro.core import MultiLayerTopology, multi_layer_aggregate, multi_layer_cost_bits
+from repro.core.costs import multi_layer_total_peers
+
+RNG = lambda seed=0: np.random.default_rng(seed)
+
+
+class TestTopology:
+    def test_peer_count_matches_eq6(self):
+        for n in (2, 3, 4):
+            for depth in (1, 2, 3):
+                topo = MultiLayerTopology(n, depth)
+                assert topo.n_peers == multi_layer_total_peers(n, depth)
+
+    def test_depth1_single_group(self):
+        topo = MultiLayerTopology(3, 1)
+        assert topo.n_groups == 1
+        assert topo.groups[0].members == (0, 1, 2)
+
+    def test_group_count_matches_paper(self):
+        # Number of aggregations: sum_{k=1}^{X-1} n(n-1)^{k-1} + 1.
+        for n in (3, 4):
+            for depth in (1, 2, 3):
+                topo = MultiLayerTopology(n, depth)
+                expected = 1 + sum(
+                    n * (n - 1) ** (k - 1) for k in range(1, depth)
+                )
+                assert topo.n_groups == expected
+
+    def test_leader_structure_matches_paper(self):
+        """Sec. VII-C: a follower of layer x leads one layer-x+1 group;
+        nobody leads in two layers except the topmost leader, who also
+        leads a second-layer group."""
+        topo = MultiLayerTopology(3, 3)
+        # Layer-2 leaders are exactly the members of the top group.
+        layer2_leaders = {g.leader for g in topo.groups_at(2)}
+        assert layer2_leaders == set(topo.groups[0].members)
+        # Layer-3 leaders are exactly the layer-2 followers (new peers).
+        layer3_leaders = sorted(g.leader for g in topo.groups_at(3))
+        layer2_followers = sorted(
+            p for g in topo.groups_at(2) for p in g.members[1:]
+        )
+        assert layer3_leaders == layer2_followers
+        # No peer leads more than two groups, and only peer 0 (top leader)
+        # leads two.
+        from collections import Counter
+
+        lead_counts = Counter(g.leader for g in topo.groups)
+        assert lead_counts[0] == 2
+        assert all(c == 1 for p, c in lead_counts.items() if p != 0)
+
+    def test_all_groups_have_n_members(self):
+        topo = MultiLayerTopology(4, 3)
+        assert all(len(g.members) == 4 for g in topo.groups)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiLayerTopology(1, 2)
+        with pytest.raises(ValueError):
+            MultiLayerTopology(3, 0)
+
+
+class TestAggregate:
+    def test_equals_global_mean(self):
+        for n, depth in [(3, 2), (3, 3), (4, 2), (2, 4)]:
+            topo = MultiLayerTopology(n, depth)
+            rng = RNG(1)
+            models = [rng.normal(size=6) for _ in range(topo.n_peers)]
+            result = multi_layer_aggregate(topo, models, rng)
+            np.testing.assert_allclose(
+                result.average, np.mean(models, axis=0), rtol=1e-9
+            )
+
+    def test_measured_cost_matches_eq10(self):
+        for n, depth in [(3, 2), (3, 3), (4, 2), (5, 2)]:
+            topo = MultiLayerTopology(n, depth)
+            rng = RNG(2)
+            models = [rng.normal(size=20) for _ in range(topo.n_peers)]
+            result = multi_layer_aggregate(topo, models, rng)
+            assert result.bits_sent == multi_layer_cost_bits(n, depth, 20)
+
+    def test_aggregation_count(self):
+        topo = MultiLayerTopology(3, 3)
+        rng = RNG(3)
+        models = [rng.normal(size=4) for _ in range(topo.n_peers)]
+        result = multi_layer_aggregate(topo, models, rng)
+        assert result.n_aggregations == topo.n_groups
+
+    def test_wrong_model_count_rejected(self):
+        topo = MultiLayerTopology(3, 2)
+        with pytest.raises(ValueError):
+            multi_layer_aggregate(topo, [np.ones(3)] * 5, RNG())
+
+    def test_depth1_is_plain_sac_mean(self):
+        topo = MultiLayerTopology(4, 1)
+        rng = RNG(4)
+        models = [rng.normal(size=5) for _ in range(4)]
+        result = multi_layer_aggregate(topo, models, rng)
+        np.testing.assert_allclose(result.average, np.mean(models, axis=0))

@@ -1,0 +1,92 @@
+"""Tests for the deployment planner."""
+
+import pytest
+
+from repro.core.planner import Plan, PlanRequirements, enumerate_plans, recommend
+from repro.nn.zoo import PAPER_CNN_PARAMS
+
+
+class TestEnumerate:
+    def test_plans_sorted_by_volume(self):
+        plans = enumerate_plans(30, PAPER_CNN_PARAMS)
+        volumes = [p.volume_bits for p in plans]
+        assert volumes == sorted(volumes)
+        assert plans  # N=30 has feasible configurations
+
+    def test_paper_headline_plan_present(self):
+        """(n=3, k=2, m=10) at N=30 is the paper's 10.36x configuration."""
+        plans = enumerate_plans(30, PAPER_CNN_PARAMS)
+        headline = next(p for p in plans if (p.n, p.k) == (3, 2))
+        assert headline.m == 10
+        assert headline.reduction_vs_baseline == pytest.approx(10.36, abs=0.01)
+
+    def test_privacy_floor_enforced(self):
+        plans = enumerate_plans(30, 1000)
+        assert all(p.n >= 3 for p in plans)
+        assert all(p.k >= 2 for p in plans)
+
+    def test_dropout_tolerance_respected(self):
+        req = PlanRequirements(sac_dropouts=2)
+        plans = enumerate_plans(30, 1000, req)
+        assert all(p.n - p.k >= 2 for p in plans)
+
+    def test_raft_tolerance_respected(self):
+        req = PlanRequirements(raft_crashes=2)
+        plans = enumerate_plans(30, 1000, req)
+        assert all((p.n - 1) // 2 >= 2 for p in plans)  # n >= 5
+
+    def test_fedavg_leader_crash_needs_three_groups(self):
+        req = PlanRequirements(fedavg_leader_crash=True)
+        plans = enumerate_plans(12, 1000, req)
+        assert all(p.m >= 3 for p in plans)
+        relaxed = PlanRequirements(fedavg_leader_crash=False)
+        more = enumerate_plans(12, 1000, relaxed)
+        assert len(more) >= len(plans)
+
+    def test_latency_populated_with_bandwidth(self):
+        plans = enumerate_plans(30, 1000, bandwidth_bps=1e8)
+        assert all(p.latency_ms is not None and p.latency_ms > 0 for p in plans)
+
+    def test_too_few_peers(self):
+        with pytest.raises(ValueError):
+            enumerate_plans(2, 1000)
+
+    def test_negative_requirements(self):
+        with pytest.raises(ValueError):
+            PlanRequirements(sac_dropouts=-1)
+
+
+class TestRecommend:
+    def test_volume_objective_picks_cheapest(self):
+        best = recommend(30, PAPER_CNN_PARAMS)
+        plans = enumerate_plans(30, PAPER_CNN_PARAMS)
+        assert best.volume_bits == plans[0].volume_bits
+
+    def test_latency_objective(self):
+        best = recommend(
+            30, PAPER_CNN_PARAMS, objective="latency", bandwidth_bps=1e8
+        )
+        plans = enumerate_plans(30, PAPER_CNN_PARAMS, bandwidth_bps=1e8)
+        assert best.latency_ms == min(p.latency_ms for p in plans)
+
+    def test_objectives_can_differ(self):
+        """Min-volume and min-latency plans genuinely diverge: volume
+        favors tiny n; latency weighs the replication on the uplink."""
+        vol = recommend(30, PAPER_CNN_PARAMS, PlanRequirements(sac_dropouts=2))
+        lat = recommend(
+            30, PAPER_CNN_PARAMS, PlanRequirements(sac_dropouts=2),
+            objective="latency", bandwidth_bps=1e8,
+        )
+        assert (vol.n, vol.k) != (lat.n, lat.k) or vol.latency_ms is None
+
+    def test_latency_requires_bandwidth(self):
+        with pytest.raises(ValueError):
+            recommend(30, 1000, objective="latency")
+
+    def test_unknown_objective(self):
+        with pytest.raises(ValueError):
+            recommend(30, 1000, objective="beauty")
+
+    def test_infeasible_requirements(self):
+        with pytest.raises(ValueError, match="no feasible"):
+            recommend(6, 1000, PlanRequirements(raft_crashes=5))

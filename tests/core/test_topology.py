@@ -1,0 +1,104 @@
+"""Tests for subgroup topology construction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Topology
+
+
+class TestByGroupSize:
+    def test_fig6_caption_case(self):
+        """N=10, n=3 -> subgroups of 3, 3 and 4 (Fig. 6 caption)."""
+        topo = Topology.by_group_size(10, 3)
+        assert sorted(topo.group_sizes) == [3, 3, 4]
+        assert topo.n_groups == 3
+
+    def test_n_equals_n_peers_single_group(self):
+        topo = Topology.by_group_size(10, 10)
+        assert topo.n_groups == 1
+        assert topo.group_sizes == (10,)
+
+    def test_exact_division(self):
+        topo = Topology.by_group_size(25, 5)
+        assert topo.group_sizes == (5, 5, 5, 5, 5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Topology.by_group_size(5, 0)
+        with pytest.raises(ValueError):
+            Topology.by_group_size(2, 3)
+
+
+class TestByGroupCount:
+    def test_fig13_caption_case(self):
+        """N=30, m=4 -> two subgroups of 8 and two of 7 (Fig. 13 caption)."""
+        topo = Topology.by_group_count(30, 4)
+        assert sorted(topo.group_sizes) == [7, 7, 8, 8]
+
+    def test_m_equals_n_gives_singletons(self):
+        topo = Topology.by_group_count(5, 5)
+        assert topo.group_sizes == (1, 1, 1, 1, 1)
+
+    def test_single_group(self):
+        topo = Topology.single_group(7)
+        assert topo.n_groups == 1 and topo.n_peers == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Topology.by_group_count(5, 0)
+        with pytest.raises(ValueError):
+            Topology.by_group_count(3, 4)
+
+
+class TestStructure:
+    def test_leaders_are_members(self):
+        topo = Topology.by_group_count(12, 3)
+        for leader, group in zip(topo.leaders, topo.groups):
+            assert leader in group
+
+    def test_group_of_and_position(self):
+        topo = Topology.by_group_count(10, 2)
+        for gi, group in enumerate(topo.groups):
+            for pos, peer in enumerate(group):
+                assert topo.group_of(peer) == gi
+                assert topo.member_position(peer) == pos
+
+    def test_group_of_unknown_peer(self):
+        with pytest.raises(KeyError):
+            Topology.by_group_count(4, 2).group_of(17)
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(groups=((0, 1), (1, 2)), leaders=(0, 1))  # overlap
+        with pytest.raises(ValueError):
+            Topology(groups=((0, 1), ()), leaders=(0, 0))  # empty group
+        with pytest.raises(ValueError):
+            Topology(groups=((0, 1),), leaders=(5,))  # foreign leader
+        with pytest.raises(ValueError):
+            Topology(groups=((0, 2),), leaders=(0,))  # non-contiguous ids
+        with pytest.raises(ValueError):
+            Topology(groups=((0, 1), (2, 3)), leaders=(0,))  # missing leader
+
+    @given(
+        n_peers=st.integers(1, 60),
+        data=st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_partitions_are_exact(self, n_peers, data):
+        mode = data.draw(st.sampled_from(["size", "count"]))
+        if mode == "size":
+            n = data.draw(st.integers(1, n_peers))
+            topo = Topology.by_group_size(n_peers, n)
+            # Sizes differ by at most... remainder spread: every group has
+            # >= n members and the sizes differ by at most 1.
+            assert min(topo.group_sizes) >= n or topo.n_groups == 1
+            assert max(topo.group_sizes) - min(topo.group_sizes) <= 1
+        else:
+            m = data.draw(st.integers(1, n_peers))
+            topo = Topology.by_group_count(n_peers, m)
+            assert topo.n_groups == m
+            assert max(topo.group_sizes) - min(topo.group_sizes) <= 1
+        # Exact partition of 0..N-1.
+        everyone = sorted(p for g in topo.groups for p in g)
+        assert everyone == list(range(n_peers))

@@ -1,0 +1,173 @@
+"""Tests for the real-dataset file loaders (against generated fixtures)."""
+
+import gzip
+import os
+import pickle
+import struct
+
+import numpy as np
+import pytest
+
+from repro.data.files import (
+    load_cifar10_batches,
+    load_dataset,
+    load_mnist_idx,
+    read_idx,
+)
+
+
+def write_idx(path, array, dtype_code=0x08):
+    """Write an array in IDX format (big-endian)."""
+    array = np.asarray(array)
+    with open(path, "wb") as fh:
+        fh.write(bytes([0, 0, dtype_code, array.ndim]))
+        fh.write(struct.pack(f">{array.ndim}I", *array.shape))
+        fh.write(array.astype(">u1" if dtype_code == 0x08 else ">f4").tobytes())
+
+
+def make_mnist_dir(tmp_path, n_train=20, n_test=10, gz=False):
+    rng = np.random.default_rng(0)
+    files = {
+        "train-images-idx3-ubyte": rng.integers(0, 256, (n_train, 28, 28), dtype=np.uint8),
+        "train-labels-idx1-ubyte": rng.integers(0, 10, n_train, dtype=np.uint8),
+        "t10k-images-idx3-ubyte": rng.integers(0, 256, (n_test, 28, 28), dtype=np.uint8),
+        "t10k-labels-idx1-ubyte": rng.integers(0, 10, n_test, dtype=np.uint8),
+    }
+    for name, arr in files.items():
+        path = str(tmp_path / name)
+        write_idx(path, arr)
+        if gz:
+            with open(path, "rb") as fh:
+                payload = fh.read()
+            with gzip.open(path + ".gz", "wb") as fh:
+                fh.write(payload)
+            os.remove(path)
+    return str(tmp_path), files
+
+
+def make_cifar_dir(tmp_path, per_batch=4):
+    rng = np.random.default_rng(1)
+    for i in range(1, 6):
+        batch = {
+            b"data": rng.integers(0, 256, (per_batch, 3072), dtype=np.uint8),
+            b"labels": rng.integers(0, 10, per_batch).tolist(),
+        }
+        with open(tmp_path / f"data_batch_{i}", "wb") as fh:
+            pickle.dump(batch, fh)
+    test = {
+        b"data": rng.integers(0, 256, (per_batch, 3072), dtype=np.uint8),
+        b"labels": rng.integers(0, 10, per_batch).tolist(),
+    }
+    with open(tmp_path / "test_batch", "wb") as fh:
+        pickle.dump(test, fh)
+    return str(tmp_path)
+
+
+class TestIdx:
+    def test_roundtrip(self, tmp_path):
+        arr = np.arange(24, dtype=np.uint8).reshape(2, 3, 4)
+        path = str(tmp_path / "test.idx")
+        write_idx(path, arr)
+        np.testing.assert_array_equal(read_idx(path), arr)
+
+    def test_gz_roundtrip(self, tmp_path):
+        arr = np.arange(6, dtype=np.uint8)
+        path = str(tmp_path / "test.idx")
+        write_idx(path, arr)
+        with open(path, "rb") as fh:
+            payload = fh.read()
+        gz_path = path + ".gz"
+        with gzip.open(gz_path, "wb") as fh:
+            fh.write(payload)
+        np.testing.assert_array_equal(read_idx(gz_path), arr)
+
+    def test_bad_magic(self, tmp_path):
+        path = str(tmp_path / "bad.idx")
+        with open(path, "wb") as fh:
+            fh.write(b"\xff\xff\x08\x01" + struct.pack(">I", 1) + b"\x00")
+        with pytest.raises(ValueError, match="magic"):
+            read_idx(path)
+
+    def test_truncated_payload(self, tmp_path):
+        path = str(tmp_path / "short.idx")
+        with open(path, "wb") as fh:
+            fh.write(bytes([0, 0, 0x08, 1]) + struct.pack(">I", 10) + b"\x00\x01")
+        with pytest.raises(ValueError, match="elements"):
+            read_idx(path)
+
+
+class TestMnistLoader:
+    def test_loads_shapes_and_scaling(self, tmp_path):
+        directory, files = make_mnist_dir(tmp_path)
+        ds = load_mnist_idx(directory)
+        assert ds.x_train.shape == (20, 1, 28, 28)
+        assert ds.x_test.shape == (10, 1, 28, 28)
+        assert 0.0 <= ds.x_train.min() and ds.x_train.max() <= 1.0
+        np.testing.assert_array_equal(
+            ds.y_train, files["train-labels-idx1-ubyte"]
+        )
+        assert ds.name == "mnist"
+
+    def test_loads_gz(self, tmp_path):
+        directory, _ = make_mnist_dir(tmp_path, gz=True)
+        ds = load_mnist_idx(directory)
+        assert ds.n_train == 20
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="MNIST"):
+            load_mnist_idx(str(tmp_path))
+
+
+class TestCifarLoader:
+    def test_loads_all_batches(self, tmp_path):
+        directory = make_cifar_dir(tmp_path, per_batch=4)
+        ds = load_cifar10_batches(directory)
+        assert ds.x_train.shape == (20, 3, 32, 32)  # 5 batches x 4
+        assert ds.x_test.shape == (4, 3, 32, 32)
+        assert ds.x_train.max() <= 1.0
+        assert ds.name == "cifar10"
+
+    def test_missing_batch(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="CIFAR-10"):
+            load_cifar10_batches(str(tmp_path))
+
+    def test_malformed_batch(self, tmp_path):
+        for i in range(1, 6):
+            with open(tmp_path / f"data_batch_{i}", "wb") as fh:
+                pickle.dump({b"wrong": 1}, fh)
+        with open(tmp_path / "test_batch", "wb") as fh:
+            pickle.dump({b"wrong": 1}, fh)
+        with pytest.raises(ValueError, match="missing"):
+            load_cifar10_batches(str(tmp_path))
+
+
+class TestDispatcher:
+    def test_synthetic_fallback(self):
+        ds = load_dataset("mnist", n_train=30, n_test=10)
+        assert ds.name == "synthetic-mnist"
+        ds = load_dataset("cifar10", n_train=20, n_test=10)
+        assert ds.name == "synthetic-cifar10"
+
+    def test_real_files_when_directory_given(self, tmp_path):
+        directory, _ = make_mnist_dir(tmp_path)
+        ds = load_dataset("mnist", directory=directory)
+        assert ds.name == "mnist"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_dataset("imagenet")
+
+    def test_loaded_dataset_trains_end_to_end(self, tmp_path):
+        """Fixture MNIST files drive the full FL pipeline."""
+        from repro.core import SessionConfig, run_session
+        from repro.nn import mlp_classifier
+
+        directory, _ = make_mnist_dir(tmp_path, n_train=40, n_test=10)
+        ds = load_mnist_idx(directory).flattened()
+        cfg = SessionConfig(
+            n_peers=2, rounds=2, group_size=2, lr=1e-3, batch_size=10, seed=0
+        )
+        history = run_session(
+            lambda rng: mlp_classifier(784, rng=rng, hidden=(8,)), ds, cfg
+        )
+        assert len(history) == 2

@@ -1,0 +1,97 @@
+"""Tests for the CLI runner and CSV export."""
+
+import csv
+import os
+
+import pytest
+
+from repro.__main__ import main
+from repro.experiments import run_fig10, run_fig13, run_fig14, run_fig6_fig7
+from repro.experiments.csv_export import (
+    write_cost_points,
+    write_fl_runs,
+    write_recovery_stats,
+)
+
+
+def read_csv(path):
+    with open(path) as fh:
+        return list(csv.reader(fh))
+
+
+class TestCsvExport:
+    def test_fl_runs_csv(self, tmp_path):
+        runs = run_fig6_fig7(
+            n_peers=4, rounds=3, group_sizes=(2,), distributions=("iid",)
+        )
+        path = write_fl_runs(runs, str(tmp_path / "fl.csv"))
+        rows = read_csv(path)
+        assert rows[0][0] == "label"
+        assert len(rows) == 1 + 2 * 3  # two runs x three rounds
+        assert rows[1][0] == "two-layer n=2"
+
+    def test_recovery_csv(self, tmp_path):
+        stats = run_fig10(trials=2, timeout_bases=(50.0,))
+        path = write_recovery_stats(stats, str(tmp_path / "rec.csv"))
+        rows = read_csv(path)
+        assert rows[0][0] == "timeout_base_ms"
+        assert len(rows) == 2
+        assert float(rows[1][1]) > 0
+
+    def test_cost_csv_series(self, tmp_path):
+        path = write_cost_points(run_fig14(), str(tmp_path / "costs.csv"))
+        rows = read_csv(path)
+        assert rows[0] == ["series", "x", "gigabits"]
+        labels = {r[0] for r in rows[1:]}
+        assert "baseline (n=N)" in labels
+
+    def test_cost_csv_flat_list(self, tmp_path):
+        path = write_cost_points(run_fig13(), str(tmp_path / "fig13.csv"))
+        rows = read_csv(path)
+        assert len(rows) == 31  # header + m=1..30
+
+    def test_creates_directories(self, tmp_path):
+        nested = tmp_path / "a" / "b" / "c.csv"
+        write_cost_points(run_fig13(), str(nested))
+        assert nested.exists()
+
+
+class TestCli:
+    def test_env(self, capsys):
+        assert main(["env"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+    def test_fig13(self, capsys):
+        assert main(["fig13"]) == 0
+        assert "7.12" in capsys.readouterr().out
+
+    def test_fig14(self, capsys):
+        assert main(["fig14"]) == 0
+        assert "10.36x" in capsys.readouterr().out
+
+    def test_multilayer(self, capsys):
+        assert main(["multilayer"]) == 0
+        assert "X-layer" in capsys.readouterr().out
+
+    def test_fig6_small(self, capsys):
+        assert main(["fig6", "--rounds", "2", "--peers", "4"]) == 0
+        assert "final test accuracy" in capsys.readouterr().out
+
+    def test_fig10_small_with_csv(self, capsys, tmp_path):
+        assert main(
+            ["fig10", "--trials", "2", "--csv", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 10" in out
+        assert (tmp_path / "fig10_recovery.csv").exists()
+
+    def test_fig8_with_csv(self, capsys, tmp_path):
+        assert main(
+            ["fig8", "--rounds", "2", "--peers", "4", "--csv", str(tmp_path)]
+        ) == 0
+        assert (tmp_path / "fig8_curves.csv").exists()
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

@@ -1,0 +1,127 @@
+"""Tests for the experiment runners (small-scale smoke + shape checks)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    environment_report,
+    format_accuracy_table,
+    format_fig13,
+    format_fig14,
+    format_multilayer,
+    format_recovery_table,
+    format_table1,
+    run_fig6_fig7,
+    run_fig8_fig9,
+    run_fig10,
+    run_fig13,
+    run_fig14,
+    run_multilayer_table,
+)
+
+
+class TestEnvReport:
+    def test_report_has_required_keys(self):
+        report = environment_report()
+        for key in ("OS", "CPU", "Cores", "Python", "NumPy"):
+            assert key in report
+
+    def test_format(self):
+        text = format_table1()
+        assert "Table I" in text
+        assert "NumPy" in text
+
+
+class TestFlRunners:
+    def test_fig6_shape(self):
+        runs = run_fig6_fig7(
+            n_peers=6, rounds=4, group_sizes=(3,), distributions=("iid",)
+        )
+        # one two-layer run + one baseline for the single distribution
+        assert len(runs) == 2
+        assert {r.label for r in runs} == {"two-layer n=3", "baseline n=N"}
+        for r in runs:
+            assert len(r.history) == 4
+
+    def test_fig6_two_layer_matches_baseline(self):
+        runs = run_fig6_fig7(
+            n_peers=6, rounds=5, group_sizes=(3,), distributions=("iid",)
+        )
+        two = next(r for r in runs if r.label == "two-layer n=3")
+        base = next(r for r in runs if r.label == "baseline n=N")
+        np.testing.assert_allclose(
+            two.history.accuracy, base.history.accuracy, atol=1e-6
+        )
+
+    def test_fig8_shape(self):
+        runs = run_fig8_fig9(
+            n_peers=8, rounds=3, group_size=2, distributions=("iid",)
+        )
+        assert {r.label for r in runs} == {"p=0.5", "p=1.0"}
+
+    def test_cifar_workload_runs(self):
+        runs = run_fig6_fig7(
+            n_peers=4, rounds=2, group_sizes=(2,), distributions=("iid",),
+            dataset="cifar",
+        )
+        assert all(np.isfinite(r.history.accuracy).all() for r in runs)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            run_fig6_fig7(n_peers=4, rounds=1, dataset="imagenet")
+
+    def test_format_accuracy_table(self):
+        runs = run_fig6_fig7(
+            n_peers=6, rounds=3, group_sizes=(3,), distributions=("iid",)
+        )
+        text = format_accuracy_table(runs, "Fig. 6")
+        assert "Fig. 6" in text and "iid" in text
+
+
+class TestRaftRunners:
+    def test_fig10_stats(self):
+        stats = run_fig10(trials=3, timeout_bases=(50.0,))
+        assert len(stats) == 1
+        s = stats[0]
+        assert s.n_trials == 3
+        assert s.mean_ms > 0
+        assert s.paper_mean_ms == pytest.approx(214.30)
+
+    def test_format_recovery_table(self):
+        stats = run_fig10(trials=2, timeout_bases=(50.0,))
+        text = format_recovery_table(stats, "Fig. 10")
+        assert "50-100ms" in text
+
+
+class TestCostRunners:
+    def test_fig13_matches_paper_at_m6(self):
+        points = run_fig13()
+        at_m6 = next(p for p in points if p.x == 6)
+        assert at_m6.gigabits == pytest.approx(7.12, abs=0.01)
+
+    def test_fig13_m1_is_most_expensive(self):
+        points = run_fig13()
+        assert points[0].gigabits == max(p.gigabits for p in points)
+
+    def test_fig14_headline_ratios(self):
+        series = run_fig14()
+        base = {int(p.x): p.gigabits for p in series["baseline (n=N)"]}
+        two_three = {int(p.x): p.gigabits for p in series["2-3"]}
+        three_three = {int(p.x): p.gigabits for p in series["3-3"]}
+        three_five = {int(p.x): p.gigabits for p in series["3-5"]}
+        assert base[30] / two_three[30] == pytest.approx(10.36, abs=0.01)
+        assert base[30] / three_three[30] == pytest.approx(14.75, abs=0.01)
+        assert base[30] / three_five[30] == pytest.approx(4.29, abs=0.01)
+        # Sec. VII-B: baseline at N=50 is 196.13 Gb.
+        assert base[50] == pytest.approx(196.13, abs=0.01)
+
+    def test_multilayer_table(self):
+        points = run_multilayer_table()
+        assert len(points) == 5
+        # Per-peer cost is bounded (linear overall complexity).
+        assert points[-1].gigabits / points[-1].x < points[0].gigabits * 100
+
+    def test_formatters(self):
+        assert "7.12" in format_fig13(run_fig13())
+        assert "10.36x" in format_fig14(run_fig14())
+        assert "X=3" in format_multilayer(run_multilayer_table())

@@ -1,0 +1,69 @@
+"""Tests for the centralized-FL baseline and its single point of failure."""
+
+import numpy as np
+import pytest
+
+from repro.data import synthetic_blobs
+from repro.fl.central import CentralConfig, CentralServer, run_central_session
+from repro.nn import mlp_classifier
+
+RNG = lambda seed=0: np.random.default_rng(seed)
+
+
+def setup(seed=0):
+    ds = synthetic_blobs(
+        n_train=600, n_test=150, n_features=8, rng=RNG(seed), separation=3.0
+    )
+    return ds, (lambda rng: mlp_classifier(8, rng=rng, hidden=(16,)))
+
+
+class TestServer:
+    def test_aggregate_updates_global(self):
+        server = CentralServer(np.zeros(4))
+        out = server.aggregate([np.ones(4), np.full(4, 3.0)], [1.0, 1.0])
+        np.testing.assert_allclose(out, np.full(4, 2.0))
+        np.testing.assert_allclose(server.global_weights, np.full(4, 2.0))
+
+    def test_crashed_server_returns_none(self):
+        server = CentralServer(np.zeros(2))
+        server.crash()
+        assert server.aggregate([np.ones(2)], [1.0]) is None
+        np.testing.assert_allclose(server.global_weights, np.zeros(2))
+
+
+class TestSession:
+    def test_learns_without_faults(self):
+        ds, factory = setup()
+        cfg = CentralConfig(n_clients=6, rounds=15, lr=1e-2, seed=1)
+        history = run_central_session(factory, ds, cfg)
+        assert history.accuracy[-3:].mean() > history.accuracy[0]
+        assert (history.comm_bits > 0).all()
+
+    def test_server_crash_freezes_global_model(self):
+        """The paper's Sec. I claim, measured: after the server crash the
+        global model never changes again."""
+        ds, factory = setup(seed=2)
+        cfg = CentralConfig(
+            n_clients=6, rounds=12, lr=1e-2, seed=2, server_crash_round=5
+        )
+        history = run_central_session(factory, ds, cfg)
+        # No aggregation traffic after the crash round.
+        assert (history.comm_bits[5:] == 0.0).all()
+        assert (history.comm_bits[:5] > 0.0).all()
+        # Accuracy plateaus at the pre-crash global model.
+        frozen = history.accuracy[5:]
+        np.testing.assert_allclose(frozen, frozen[0])
+
+    def test_crash_at_round_zero(self):
+        ds, factory = setup(seed=3)
+        cfg = CentralConfig(
+            n_clients=4, rounds=4, lr=1e-2, seed=3, server_crash_round=0
+        )
+        history = run_central_session(factory, ds, cfg)
+        assert (history.comm_bits == 0.0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CentralConfig(n_clients=0)
+        with pytest.raises(ValueError):
+            CentralConfig(rounds=0)

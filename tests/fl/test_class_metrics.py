@@ -1,0 +1,70 @@
+"""Tests for confusion matrix / per-class accuracy."""
+
+import numpy as np
+import pytest
+
+from repro.fl import confusion_matrix, per_class_accuracy
+
+
+class TestConfusionMatrix:
+    def test_perfect_prediction_is_diagonal(self):
+        y = np.array([0, 1, 2, 1, 0])
+        cm = confusion_matrix(y, y, 3)
+        np.testing.assert_array_equal(cm, np.diag([2, 2, 1]))
+
+    def test_known_confusions(self):
+        labels = np.array([0, 0, 1, 1])
+        preds = np.array([0, 1, 1, 0])
+        cm = confusion_matrix(preds, labels, 2)
+        np.testing.assert_array_equal(cm, [[1, 1], [1, 1]])
+
+    def test_rows_sum_to_class_counts(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 5, 200)
+        preds = rng.integers(0, 5, 200)
+        cm = confusion_matrix(preds, labels, 5)
+        np.testing.assert_array_equal(cm.sum(axis=1), np.bincount(labels, minlength=5))
+        assert cm.sum() == 200
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0]), np.array([0, 1]), 2)
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([5]), np.array([0]), 2)
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0]), np.array([0]), 0)
+
+
+class TestPerClassAccuracy:
+    def test_values(self):
+        labels = np.array([0, 0, 1, 1, 1])
+        preds = np.array([0, 1, 1, 1, 0])
+        acc = per_class_accuracy(preds, labels, 2)
+        np.testing.assert_allclose(acc, [0.5, 2 / 3])
+
+    def test_absent_class_is_nan(self):
+        labels = np.array([0, 0])
+        preds = np.array([0, 0])
+        acc = per_class_accuracy(preds, labels, 3)
+        assert acc[0] == 1.0
+        assert np.isnan(acc[1]) and np.isnan(acc[2])
+
+    def test_noniid_model_has_uneven_class_accuracy(self):
+        """The metric in action: a model trained on two classes only is
+        great on those and blind to the rest."""
+        from repro.data import synthetic_blobs
+        from repro.nn import Adam, mlp_classifier
+
+        rng = np.random.default_rng(0)
+        ds = synthetic_blobs(n_train=1500, n_test=400, rng=rng, separation=3.0)
+        # Train only on classes 0 and 1.
+        mask = ds.y_train < 2
+        model = mlp_classifier(ds.x_train.shape[1], rng=rng, hidden=(32,))
+        opt = Adam(model.params(), lr=0.01)
+        for _ in range(60):
+            model.train_batch(ds.x_train[mask], ds.y_train[mask])
+            opt.step()
+        preds = model.predict_labels(ds.x_test)
+        acc = per_class_accuracy(preds, ds.y_test, 10)
+        assert np.nanmean(acc[:2]) > 0.8
+        assert np.nanmean(acc[2:]) < 0.2

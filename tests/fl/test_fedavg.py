@@ -1,0 +1,97 @@
+"""Tests for FedAvg aggregation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fl import fedavg
+
+
+class TestFedAvg:
+    def test_uniform_weights_is_mean(self):
+        models = [np.ones(4), np.full(4, 3.0)]
+        np.testing.assert_allclose(fedavg(models), np.full(4, 2.0))
+
+    def test_weighted_mean(self):
+        models = [np.zeros(2), np.ones(2)]
+        out = fedavg(models, weights=[1, 3])
+        np.testing.assert_allclose(out, np.full(2, 0.75))
+
+    def test_weights_scale_invariant(self):
+        rng = np.random.default_rng(0)
+        models = [rng.normal(size=5) for _ in range(3)]
+        a = fedavg(models, weights=[1, 2, 3])
+        b = fedavg(models, weights=[10, 20, 30])
+        np.testing.assert_allclose(a, b, rtol=1e-12)
+
+    def test_single_model_identity(self):
+        m = np.array([1.0, 2.0])
+        np.testing.assert_allclose(fedavg([m], weights=[5]), m)
+
+    def test_out_buffer(self):
+        models = [np.ones(3), np.full(3, 5.0)]
+        buf = np.full(3, 99.0)
+        out = fedavg(models, out=buf)
+        assert out is buf
+        np.testing.assert_allclose(buf, np.full(3, 3.0))
+
+    def test_zero_weight_model_ignored(self):
+        models = [np.zeros(2), np.full(2, 1e9)]
+        np.testing.assert_allclose(fedavg(models, weights=[1, 0]), np.zeros(2))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fedavg([])
+        with pytest.raises(ValueError):
+            fedavg([np.ones(2)], weights=[1, 2])
+        with pytest.raises(ValueError):
+            fedavg([np.ones(2), np.ones(3)])
+        with pytest.raises(ValueError):
+            fedavg([np.ones(2)], weights=[-1])
+        with pytest.raises(ValueError):
+            fedavg([np.ones(2), np.ones(2)], weights=[0, 0])
+        with pytest.raises(ValueError):
+            fedavg([np.ones(2)], out=np.empty(3))
+
+    @given(
+        n=st.integers(1, 10),
+        size=st.integers(1, 16),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_convexity(self, n, size, seed):
+        """The average lies inside the per-coordinate hull of the models."""
+        rng = np.random.default_rng(seed)
+        models = [rng.normal(size=size) for _ in range(n)]
+        weights = rng.random(n) + 1e-3
+        out = fedavg(models, weights=weights)
+        stacked = np.stack(models)
+        assert (out <= stacked.max(axis=0) + 1e-9).all()
+        assert (out >= stacked.min(axis=0) - 1e-9).all()
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_property_permutation_invariance(self, seed):
+        rng = np.random.default_rng(seed)
+        models = [rng.normal(size=6) for _ in range(5)]
+        weights = list(rng.random(5) + 0.1)
+        perm = rng.permutation(5)
+        a = fedavg(models, weights)
+        b = fedavg([models[i] for i in perm], [weights[i] for i in perm])
+        np.testing.assert_allclose(a, b, rtol=1e-10)
+
+    def test_two_stage_equals_global_mean(self):
+        """The Fig. 6 invariant: grouped SAC + weighted FedAvg == global mean.
+
+        Averaging within subgroups and then FedAvg-ing the subgroup means
+        weighted by subgroup size reproduces the mean over all peers —
+        this is why two-layer accuracy matches one-layer SAC exactly.
+        """
+        rng = np.random.default_rng(1)
+        models = [rng.normal(size=8) for _ in range(10)]
+        groups = [[0, 1, 2], [3, 4, 5], [6, 7, 8, 9]]
+        group_means = [np.mean([models[i] for i in g], axis=0) for g in groups]
+        sizes = [len(g) for g in groups]
+        two_layer = fedavg(group_means, weights=sizes)
+        np.testing.assert_allclose(two_layer, np.mean(models, axis=0), rtol=1e-12)

@@ -1,0 +1,222 @@
+"""Tests for the extra layers and training utilities."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, Dense, ReLU, SGD, Sequential, Softmax, mlp_classifier
+from repro.nn.extras import (
+    AvgPool2D,
+    BatchNorm1d,
+    BatchNorm2d,
+    CosineLR,
+    StepLR,
+    apply_weight_decay,
+    clip_gradients,
+    load_model,
+    save_model,
+)
+from repro.nn.layers import Param
+
+from .test_layers import check_input_grad
+
+RNG = lambda seed=0: np.random.default_rng(seed)
+
+
+class TestAvgPool2D:
+    def test_known_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = AvgPool2D(2).forward(x)
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_gradcheck(self):
+        check_input_grad(AvgPool2D(2), RNG(1).normal(size=(2, 2, 4, 4)))
+
+    def test_gradcheck_odd_input(self):
+        check_input_grad(AvgPool2D(2), RNG(2).normal(size=(1, 1, 5, 5)))
+
+    def test_gradient_spreads_uniformly(self):
+        layer = AvgPool2D(2)
+        layer.forward(np.zeros((1, 1, 2, 2)))
+        dx = layer.backward(np.ones((1, 1, 1, 1)))
+        np.testing.assert_allclose(dx, np.full((1, 1, 2, 2), 0.25))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AvgPool2D(0)
+        with pytest.raises(ValueError):
+            AvgPool2D(2).forward(np.ones((2, 2)))
+
+
+class TestBatchNorm1d:
+    def test_training_output_normalized(self):
+        layer = BatchNorm1d(4)
+        x = RNG(0).normal(loc=5.0, scale=3.0, size=(256, 4))
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(out.mean(axis=0), np.zeros(4), atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=0), np.ones(4), atol=1e-2)
+
+    def test_running_stats_converge(self):
+        layer = BatchNorm1d(3, momentum=0.5)
+        rng = RNG(1)
+        for _ in range(50):
+            layer.forward(rng.normal(loc=2.0, size=(128, 3)), training=True)
+        np.testing.assert_allclose(layer.running_mean, np.full(3, 2.0), atol=0.2)
+
+    def test_inference_uses_running_stats(self):
+        layer = BatchNorm1d(2)
+        rng = RNG(2)
+        for _ in range(30):
+            layer.forward(rng.normal(loc=1.0, size=(64, 2)), training=True)
+        single = layer.forward(np.full((1, 2), 1.0), training=False)
+        np.testing.assert_allclose(single, np.zeros((1, 2)), atol=0.3)
+
+    def test_gradcheck_training(self):
+        layer = BatchNorm1d(3)
+        x = RNG(3).normal(size=(6, 3))
+
+        # check_input_grad runs in inference mode; force training mode.
+        def forward_training(inp, training=False):
+            return _BatchTrainWrapper(layer).forward(inp)
+
+        wrapper = _BatchTrainWrapper(layer)
+        check_input_grad(wrapper, x)
+
+    def test_gamma_beta_trainable(self):
+        layer = BatchNorm1d(2)
+        x = RNG(4).normal(size=(8, 2))
+        layer.forward(x, training=True)
+        layer.backward(np.ones((8, 2)))
+        assert np.any(layer.beta.grad != 0)
+        assert layer.params() == [layer.gamma, layer.beta]
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            BatchNorm1d(3).forward(np.ones((2, 4)))
+        with pytest.raises(ValueError):
+            BatchNorm1d(0)
+        with pytest.raises(ValueError):
+            BatchNorm1d(2, momentum=0.0)
+
+
+class _BatchTrainWrapper:
+    """Adapter running a batch-norm layer in training mode for gradcheck."""
+
+    def __init__(self, layer):
+        self.layer = layer
+
+    def forward(self, x, training=False):
+        return self.layer.forward(x, training=True)
+
+    def backward(self, grad):
+        return self.layer.backward(grad)
+
+    def params(self):
+        return self.layer.params()
+
+
+class TestBatchNorm2d:
+    def test_per_channel_normalization(self):
+        layer = BatchNorm2d(3)
+        x = RNG(5).normal(loc=4.0, size=(16, 3, 5, 5))
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), np.zeros(3), atol=1e-10)
+
+    def test_gradcheck_training(self):
+        layer = BatchNorm2d(2)
+        x = RNG(6).normal(size=(3, 2, 3, 3))
+        check_input_grad(_BatchTrainWrapper(layer), x)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            BatchNorm2d(3).forward(np.ones((2, 4, 3, 3)))
+
+    def test_model_with_batchnorm_trains(self):
+        from repro.nn.extras import BatchNorm1d as BN
+
+        rng = RNG(7)
+        model = Sequential(
+            [Dense(4, 16, rng), BN(16), ReLU(), Dense(16, 2, rng), Softmax()]
+        )
+        opt = Adam(model.params(), lr=1e-2)
+        x = rng.normal(size=(64, 4))
+        y = (x[:, 0] > 0).astype(int)
+        first = model.train_batch(x, y)
+        opt.step()
+        for _ in range(60):
+            last = model.train_batch(x, y)
+            opt.step()
+        assert last < first
+        _, acc = model.evaluate(x, y)
+        assert acc > 0.9
+
+
+class TestTrainingUtilities:
+    def test_weight_decay_adds_gradient(self):
+        p = Param(np.full(3, 2.0))
+        p.grad[...] = 1.0
+        apply_weight_decay([p], 0.5)
+        np.testing.assert_allclose(p.grad, np.full(3, 2.0))
+
+    def test_weight_decay_validation(self):
+        with pytest.raises(ValueError):
+            apply_weight_decay([], -1.0)
+
+    def test_clip_gradients_scales_to_norm(self):
+        p = Param(np.zeros(2))
+        p.grad[...] = [3.0, 4.0]
+        pre = clip_gradients([p], 1.0)
+        assert pre == pytest.approx(5.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_clip_noop_when_small(self):
+        p = Param(np.zeros(2))
+        p.grad[...] = [0.3, 0.4]
+        clip_gradients([p], 1.0)
+        np.testing.assert_allclose(p.grad, [0.3, 0.4])
+
+    def test_step_lr(self):
+        p = Param(np.ones(1))
+        opt = SGD([p], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.5)
+        for _ in range(4):
+            sched.step()
+        assert opt.lr == pytest.approx(0.25)
+
+    def test_cosine_lr(self):
+        p = Param(np.ones(1))
+        opt = SGD([p], lr=1.0)
+        sched = CosineLR(opt, t_max=10, min_lr=0.1)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_scheduler_validation(self):
+        p = Param(np.ones(1))
+        opt = SGD([p], lr=1.0)
+        with pytest.raises(ValueError):
+            StepLR(opt, 0)
+        with pytest.raises(ValueError):
+            StepLR(opt, 1, gamma=0.0)
+        with pytest.raises(ValueError):
+            CosineLR(opt, 0)
+        with pytest.raises(ValueError):
+            clip_gradients([p], 0.0)
+
+
+class TestCheckpointing:
+    def test_save_load_roundtrip(self, tmp_path):
+        model = mlp_classifier(5, rng=RNG(8), hidden=(6,))
+        path = str(tmp_path / "ckpt.npz")
+        save_model(model, path)
+        other = mlp_classifier(5, rng=RNG(99), hidden=(6,))
+        load_model(other, path)
+        x = RNG(9).normal(size=(4, 5))
+        np.testing.assert_allclose(model.predict(x), other.predict(x))
+
+    def test_load_wrong_architecture_rejected(self, tmp_path):
+        model = mlp_classifier(5, rng=RNG(), hidden=(6,))
+        path = str(tmp_path / "ckpt.npz")
+        save_model(model, path)
+        bigger = mlp_classifier(5, rng=RNG(), hidden=(16,))
+        with pytest.raises(ValueError):
+            load_model(bigger, path)

@@ -1,0 +1,139 @@
+"""Raft safety invariants under randomized fault schedules (fuzzer).
+
+Explores random mixes of crashes, recoveries, partitions and client
+proposals, then checks the four safety properties of the Raft paper:
+
+1. **Election Safety** — at most one leader per term.
+2. **Log Matching** — if two logs share (index, term) they are identical
+   up to that index.
+3. **Leader Completeness** — every entry known applied is present in the
+   log of every later-term leader.
+4. **State Machine Safety** — no two nodes apply different commands at
+   the same index.
+"""
+
+import numpy as np
+import pytest
+
+from repro.raft import RaftCluster
+from repro.raft.log import CompactedError
+from repro.raft.node import NOOP
+
+
+def random_schedule(cluster: RaftCluster, seed: int, steps: int = 25) -> None:
+    """Drive a random fault/proposal schedule."""
+    rng = np.random.default_rng(seed)
+    n = len(cluster.hosts)
+    proposal = 0
+    for _ in range(steps):
+        cluster.run_for(float(rng.uniform(80.0, 400.0)))
+        action = rng.random()
+        victim = int(rng.integers(n))
+        if action < 0.30:
+            alive = len(cluster.network.alive_ids())
+            if alive > (n // 2 + 1) and not cluster.network.is_crashed(victim):
+                cluster.crash(victim)
+        elif action < 0.50:
+            if cluster.network.is_crashed(victim):
+                cluster.recover(victim)
+        elif action < 0.62:
+            # Random two-way partition for a while.
+            members = list(range(n))
+            rng.shuffle(members)
+            cut = int(rng.integers(1, n))
+            cluster.network.set_partition([members[:cut], members[cut:]])
+        elif action < 0.75:
+            cluster.network.set_partition(None)
+        else:
+            idx = cluster.propose(("op", proposal))
+            if idx is not None:
+                proposal += 1
+    # Heal everything and let the cluster converge.
+    cluster.network.set_partition(None)
+    for i in range(n):
+        if cluster.network.is_crashed(i):
+            cluster.recover(i)
+    cluster.run_for(6_000.0)
+
+
+def check_election_safety(cluster: RaftCluster) -> None:
+    for term, winners in cluster.leaders_by_term().items():
+        assert len(winners) == 1, f"term {term} had leaders {winners}"
+
+
+def check_log_matching(cluster: RaftCluster) -> None:
+    logs = [h.raft.log for h in cluster.hosts]
+    floor = max(log.first_available_index for log in logs)
+    top = min(log.last_index for log in logs)
+    for idx in range(floor, top + 1):
+        cells = {(log.term_at(idx), repr(log.get(idx).command)) for log in logs}
+        if len(cells) > 1:
+            # Divergence is only legal above every commit index.
+            min_commit = min(h.raft.commit_index for h in cluster.hosts)
+            assert idx > min_commit, (
+                f"index {idx} diverges below commit {min_commit}: {cells}"
+            )
+
+
+def check_state_machine_safety(cluster: RaftCluster) -> None:
+    by_index: dict[int, set[str]] = {}
+    for node_id, applied in cluster.applied.items():
+        for index, command in applied:
+            by_index.setdefault(index, set()).add(repr(command))
+    for index, commands in by_index.items():
+        assert len(commands) == 1, (
+            f"index {index} applied as {commands} on different nodes"
+        )
+
+
+def check_leader_completeness(cluster: RaftCluster) -> None:
+    """Applied entries must be in the current leader's log."""
+    lid = cluster.leader_id()
+    if lid is None:
+        return
+    log = cluster.hosts[lid].raft.log
+    for node_id, applied in cluster.applied.items():
+        for index, command in applied:
+            if index < log.first_available_index:
+                continue  # compacted; covered by the snapshot
+            if index <= log.last_index:
+                assert repr(log.get(index).command) == repr(command), (
+                    f"leader {lid} disagrees at applied index {index}"
+                )
+            else:
+                pytest.fail(
+                    f"leader {lid} is missing applied index {index}"
+                )
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_invariants_under_random_schedules(seed):
+    cluster = RaftCluster(5, seed=seed, timeout_base_ms=50.0)
+    cluster.run_until_leader()
+    random_schedule(cluster, seed=seed * 1000 + 7)
+    check_election_safety(cluster)
+    check_log_matching(cluster)
+    check_state_machine_safety(cluster)
+    check_leader_completeness(cluster)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_invariants_with_textbook_elections(seed):
+    cluster = RaftCluster(5, seed=seed, pre_election_wait=False)
+    cluster.run_until_leader()
+    random_schedule(cluster, seed=seed * 77 + 3, steps=20)
+    check_election_safety(cluster)
+    check_log_matching(cluster)
+    check_state_machine_safety(cluster)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_invariants_with_snapshots(seed):
+    cluster = RaftCluster(5, seed=seed)
+    for host in cluster.hosts:
+        host.raft.snapshot_threshold = 3
+    cluster.run_until_leader()
+    random_schedule(cluster, seed=seed * 31 + 11, steps=20)
+    check_election_safety(cluster)
+    check_state_machine_safety(cluster)
+    check_leader_completeness(cluster)

@@ -1,0 +1,84 @@
+"""Tests for the replicated KV store."""
+
+import pytest
+
+from repro.raft.kv import KVCluster
+
+
+class TestKVBasics:
+    def test_write_replicates_to_all(self):
+        cluster = KVCluster(3, seed=0)
+        leader = cluster.run_until_leader()
+        leader.set("name", "repro")
+        cluster.run_for(1_000.0)
+        for node in cluster.nodes:
+            assert node.get("name") == "repro"
+
+    def test_delete(self):
+        cluster = KVCluster(3, seed=1)
+        leader = cluster.run_until_leader()
+        leader.set("k", 1)
+        cluster.run_for(500.0)
+        leader.delete("k")
+        cluster.run_for(500.0)
+        assert all(node.get("k") is None for node in cluster.nodes)
+
+    def test_write_on_follower_rejected(self):
+        cluster = KVCluster(3, seed=2)
+        leader = cluster.run_until_leader()
+        follower = next(n for n in cluster.nodes if n is not leader)
+        assert follower.set("x", 1) is None
+
+    def test_overwrite_last_wins(self):
+        cluster = KVCluster(3, seed=3)
+        leader = cluster.run_until_leader()
+        for v in range(5):
+            leader.set("counter", v)
+        cluster.run_for(1_000.0)
+        assert all(node.get("counter") == 4 for node in cluster.nodes)
+
+    def test_barrier_gives_read_your_writes(self):
+        cluster = KVCluster(3, seed=4)
+        leader = cluster.run_until_leader()
+        leader.set("k", "v")
+        leader.propose_barrier(token=1)
+        cluster.run_for(1_000.0)
+        follower = next(n for n in cluster.nodes if n is not leader)
+        if follower.barrier_committed(1):
+            assert follower.get("k") == "v"
+        assert leader.barrier_committed(1)
+        assert leader.get("k") == "v"
+
+
+class TestKVFaults:
+    def test_survives_leader_crash(self):
+        cluster = KVCluster(5, seed=10)
+        leader = cluster.run_until_leader()
+        leader.set("durable", True)
+        cluster.run_for(1_000.0)
+        cluster.crash(leader.raft.node_id)
+        new_leader = cluster.run_until_leader()
+        assert new_leader.get("durable") is True
+        new_leader.set("after", "crash")
+        cluster.run_for(1_000.0)
+        alive = [
+            n for n in cluster.nodes
+            if not cluster.network.is_crashed(n.raft.node_id)
+        ]
+        assert all(n.get("after") == "crash" for n in alive)
+
+    def test_straggler_catches_up_with_snapshots(self):
+        cluster = KVCluster(3, seed=11, snapshot_threshold=4)
+        leader = cluster.run_until_leader()
+        lagger = next(
+            n for n in cluster.nodes if n is not leader
+        )
+        cluster.crash(lagger.raft.node_id)
+        for v in range(12):
+            leader.set(f"k{v}", v)
+            cluster.run_for(150.0)
+        cluster.run_for(500.0)
+        assert leader.raft.log.snapshot_index > 0
+        cluster.recover(lagger.raft.node_id)
+        cluster.run_for(4_000.0)
+        assert lagger.data == leader.data

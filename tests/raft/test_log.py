@@ -1,0 +1,85 @@
+"""Unit tests for the replicated log."""
+
+import pytest
+
+from repro.raft import LogEntry, RaftLog
+
+
+def entry(term, cmd="x"):
+    return LogEntry(term=term, command=cmd)
+
+
+class TestBasics:
+    def test_empty_log(self):
+        log = RaftLog()
+        assert log.last_index == 0
+        assert log.last_term == 0
+        assert log.term_at(0) == 0
+        assert len(log) == 0
+
+    def test_append_and_get(self):
+        log = RaftLog()
+        assert log.append(entry(1, "a")) == 1
+        assert log.append(entry(1, "b")) == 2
+        assert log.get(1).command == "a"
+        assert log.get(2).command == "b"
+        assert log.last_index == 2
+        assert log.last_term == 1
+
+    def test_term_at_bounds(self):
+        log = RaftLog()
+        log.append(entry(3))
+        assert log.term_at(1) == 3
+        with pytest.raises(IndexError):
+            log.term_at(2)
+        with pytest.raises(IndexError):
+            log.term_at(-1)
+
+    def test_entries_from(self):
+        log = RaftLog()
+        for i in range(5):
+            log.append(entry(1, i))
+        assert [e.command for e in log.entries_from(3)] == [2, 3, 4]
+        assert log.entries_from(6) == ()
+        with pytest.raises(IndexError):
+            log.entries_from(0)
+
+    def test_truncate(self):
+        log = RaftLog()
+        for i in range(5):
+            log.append(entry(1, i))
+        log.truncate_from(3)
+        assert log.last_index == 2
+        with pytest.raises(IndexError):
+            log.truncate_from(0)
+
+
+class TestConsistency:
+    def test_matches_sentinel(self):
+        assert RaftLog().matches(0, 0)
+
+    def test_matches_present_entry(self):
+        log = RaftLog()
+        log.append(entry(2))
+        assert log.matches(1, 2)
+        assert not log.matches(1, 3)
+        assert not log.matches(2, 2)  # beyond the log
+
+    def test_up_to_date_by_term(self):
+        log = RaftLog()
+        log.append(entry(2))
+        assert log.is_up_to_date(1, 3)  # higher last term wins
+        assert not log.is_up_to_date(5, 1)  # lower term loses despite length
+
+    def test_up_to_date_by_length(self):
+        log = RaftLog()
+        log.append(entry(2))
+        log.append(entry(2))
+        assert log.is_up_to_date(2, 2)
+        assert log.is_up_to_date(3, 2)
+        assert not log.is_up_to_date(1, 2)
+
+    def test_empty_log_always_behind_or_equal(self):
+        log = RaftLog()
+        assert log.is_up_to_date(0, 0)
+        assert log.is_up_to_date(1, 1)

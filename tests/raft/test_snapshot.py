@@ -1,0 +1,183 @@
+"""Tests for log compaction and InstallSnapshot."""
+
+import numpy as np
+import pytest
+
+from repro.raft import LogEntry, RaftCluster, RaftLog, RaftTiming
+from repro.raft.cluster import RaftHost
+from repro.raft.log import CompactedError
+
+
+def entry(term, cmd="x"):
+    return LogEntry(term=term, command=cmd)
+
+
+class TestLogCompaction:
+    def _log(self, n=10, term=1):
+        log = RaftLog()
+        for i in range(n):
+            log.append(entry(term, i))
+        return log
+
+    def test_compact_preserves_boundary(self):
+        log = self._log()
+        log.compact_to(4)
+        assert log.snapshot_index == 4
+        assert log.snapshot_term == 1
+        assert log.last_index == 10
+        assert log.first_available_index == 5
+        assert log.get(5).command == 4
+
+    def test_reading_compacted_raises(self):
+        log = self._log()
+        log.compact_to(4)
+        with pytest.raises(CompactedError):
+            log.get(3)
+        with pytest.raises(CompactedError):
+            log.term_at(3)
+        with pytest.raises(CompactedError):
+            log.entries_from(2)
+
+    def test_term_at_boundary_ok(self):
+        log = self._log()
+        log.compact_to(4)
+        assert log.term_at(4) == 1
+
+    def test_compact_everything(self):
+        log = self._log()
+        log.compact_to(10)
+        assert log.last_index == 10
+        assert len(log) == 0
+        assert log.last_term == 1
+
+    def test_append_after_compaction(self):
+        log = self._log()
+        log.compact_to(10)
+        assert log.append(entry(2, "new")) == 11
+        assert log.get(11).command == "new"
+        assert log.last_term == 2
+
+    def test_compact_is_idempotent_backwards(self):
+        log = self._log()
+        log.compact_to(6)
+        log.compact_to(3)  # no-op
+        assert log.snapshot_index == 6
+
+    def test_compact_beyond_log_rejected(self):
+        log = self._log()
+        with pytest.raises(IndexError):
+            log.compact_to(99)
+
+    def test_truncate_into_snapshot_rejected(self):
+        log = self._log()
+        log.compact_to(5)
+        with pytest.raises(CompactedError):
+            log.truncate_from(3)
+
+    def test_matches_below_snapshot_true(self):
+        log = self._log()
+        log.compact_to(5)
+        assert log.matches(2, 99)  # compacted prefix is committed
+
+    def test_reset_to_snapshot(self):
+        log = self._log()
+        log.reset_to_snapshot(20, 3)
+        assert log.last_index == 20
+        assert log.last_term == 3
+        assert len(log) == 0
+
+
+class SnapshotCluster(RaftCluster):
+    """Cluster whose nodes auto-compact and keep a trivial KV state."""
+
+    def __init__(self, n, threshold=5, **kw):
+        super().__init__(n, **kw)
+        self.kv: dict[int, dict] = {i: {} for i in range(n)}
+        for host in self.hosts:
+            nid = host.node_id
+            host.raft.snapshot_threshold = threshold
+            host.raft.take_state = lambda nid=nid: dict(self.kv[nid])
+            host.raft.restore_state = (
+                lambda state, nid=nid: self.kv[nid].update(state)
+            )
+            # Maintain the KV from applied entries.
+            original = host.raft.on_apply
+
+            def apply(index, entry, nid=nid, original=original):
+                if original:
+                    original(index, entry)
+                cmd = entry.command
+                if isinstance(cmd, tuple) and cmd and cmd[0] == "set":
+                    self.kv[nid][cmd[1]] = cmd[2]
+
+            host.raft.on_apply = apply
+
+
+class TestSnapshotInstall:
+    def test_auto_compaction_triggers(self):
+        cluster = SnapshotCluster(3, threshold=5, seed=0)
+        cluster.run_until_leader()
+        for v in range(12):
+            cluster.propose(("set", f"k{v}", v))
+            cluster.run_for(200.0)
+        cluster.run_for(1_000.0)
+        lid = cluster.leader_id()
+        assert cluster.node(lid).log.snapshot_index > 0
+
+    def test_straggler_catches_up_via_snapshot(self):
+        cluster = SnapshotCluster(3, threshold=4, seed=1)
+        lid = cluster.run_until_leader()
+        straggler = next(i for i in range(3) if i != lid)
+        cluster.crash(straggler)
+        for v in range(15):
+            cluster.propose(("set", f"k{v}", v))
+            cluster.run_for(150.0)
+        cluster.run_for(1_000.0)
+        # The leader's log no longer reaches back to index 1.
+        assert cluster.node(lid).log.snapshot_index > 0
+        cluster.recover(straggler)
+        cluster.run_for(4_000.0)
+        # The straggler received the snapshot + suffix: full KV state.
+        assert cluster.kv[straggler] == cluster.kv[lid]
+        assert cluster.node(straggler).log.snapshot_index > 0
+
+    def test_membership_survives_snapshot(self):
+        """A config entry compacted into the snapshot must still reach a
+        late joiner through InstallSnapshot's membership field."""
+        cluster = SnapshotCluster(3, threshold=3, seed=2)
+        lid = cluster.run_until_leader()
+        # Add node 3, then push enough traffic to compact the add away.
+        newcomer = RaftHost(
+            3, cluster.sim, cluster.network, members=[0, 1, 2],
+            timing=RaftTiming(timeout_base_ms=50.0),
+            rng=np.random.default_rng(3),
+        )
+        cluster.hosts.append(newcomer)
+        cluster.applied[3] = []
+        cluster.kv[3] = {}
+        newcomer.raft.start()
+        cluster.node(lid).add_server(3)
+        cluster.run_for(2_000.0)
+        cluster.crash(3)
+        for v in range(12):
+            cluster.propose(("set", f"k{v}", v))
+            cluster.run_for(150.0)
+        cluster.run_for(500.0)
+        assert cluster.node(lid).log.snapshot_index > 0
+        cluster.recover(3)
+        cluster.run_for(4_000.0)
+        assert 3 in cluster.node(3).members
+        assert 3 in cluster.node(lid).members
+
+    def test_committed_data_identical_after_snapshot_path(self):
+        cluster = SnapshotCluster(5, threshold=4, seed=3)
+        lid = cluster.run_until_leader()
+        lagger = next(i for i in range(5) if i != lid)
+        cluster.crash(lagger)
+        for v in range(10):
+            cluster.propose(("set", "counter", v))
+            cluster.run_for(150.0)
+        cluster.run_for(500.0)
+        cluster.recover(lagger)
+        cluster.run_for(4_000.0)
+        assert cluster.kv[lagger].get("counter") == 9

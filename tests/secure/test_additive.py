@@ -1,0 +1,106 @@
+"""Unit + property tests for additive share splitting (paper Alg. 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.secure.additive import divide, divide_zero_sum, reconstruct
+
+RNG = lambda seed=0: np.random.default_rng(seed)
+
+
+class TestDivide:
+    def test_shares_sum_to_secret_vector(self):
+        w = np.arange(10.0)
+        shares = divide(w, 4, RNG())
+        assert shares.shape == (4, 10)
+        np.testing.assert_allclose(shares.sum(axis=0), w, rtol=1e-12)
+
+    def test_shares_sum_to_secret_matrix(self):
+        w = RNG(1).normal(size=(3, 5))
+        shares = divide(w, 7, RNG(2))
+        np.testing.assert_allclose(shares.sum(axis=0), w, rtol=1e-12)
+
+    def test_single_share_is_identity(self):
+        w = np.array([1.0, -2.0, 3.0])
+        shares = divide(w, 1, RNG())
+        np.testing.assert_allclose(shares[0], w)
+
+    def test_scalar_secret(self):
+        shares = divide(np.float64(5.0), 3, RNG())
+        assert shares.shape == (3,)
+        assert abs(shares.sum() - 5.0) < 1e-12
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            divide(np.ones(3), 0, RNG())
+
+    def test_deterministic_given_seed(self):
+        w = np.ones(5)
+        a = divide(w, 3, RNG(42))
+        b = divide(w, 3, RNG(42))
+        np.testing.assert_array_equal(a, b)
+
+    def test_shares_differ_across_draws(self):
+        w = np.ones(5)
+        rng = RNG(0)
+        a = divide(w, 3, rng)
+        b = divide(w, 3, rng)
+        assert not np.array_equal(a, b)
+
+    @given(
+        n=st.integers(1, 12),
+        size=st.integers(1, 30),
+        seed=st.integers(0, 2**31 - 1),
+        scale=st.floats(0.01, 1e6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_reconstruction(self, n, size, seed, scale):
+        rng = np.random.default_rng(seed)
+        w = rng.normal(scale=scale, size=size)
+        shares = divide(w, n, rng)
+        np.testing.assert_allclose(
+            reconstruct(shares), w, rtol=1e-9, atol=1e-9 * scale
+        )
+
+
+class TestDivideZeroSum:
+    def test_shares_sum_to_secret(self):
+        w = RNG(3).normal(size=20)
+        shares = divide_zero_sum(w, 5, RNG(4))
+        np.testing.assert_allclose(shares.sum(axis=0), w, atol=1e-12)
+
+    def test_mask_shares_independent_of_secret(self):
+        # The first n-1 shares must be identical regardless of the secret.
+        w1, w2 = np.zeros(8), np.full(8, 1e6)
+        s1 = divide_zero_sum(w1, 4, RNG(5))
+        s2 = divide_zero_sum(w2, 4, RNG(5))
+        np.testing.assert_array_equal(s1[:-1], s2[:-1])
+
+    def test_single_share(self):
+        w = np.array([2.0])
+        np.testing.assert_array_equal(divide_zero_sum(w, 1, RNG())[0], w)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            divide_zero_sum(np.ones(2), -1, RNG())
+
+    @given(n=st.integers(1, 10), seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_property_reconstruction(self, n, seed):
+        rng = np.random.default_rng(seed)
+        w = rng.normal(size=9)
+        np.testing.assert_allclose(
+            reconstruct(divide_zero_sum(w, n, rng)), w, atol=1e-8
+        )
+
+
+class TestReconstruct:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            reconstruct(np.empty((0, 3)))
+
+    def test_list_input(self):
+        out = reconstruct([np.ones(3), np.ones(3)])
+        np.testing.assert_array_equal(out, np.full(3, 2.0))

@@ -1,0 +1,144 @@
+"""Tests for Shamir t-out-of-n sharing and Shamir-based SAC."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.secure.shamir import (
+    PRIME,
+    reconstruct_secret,
+    shamir_cost_bits,
+    shamir_sac_average,
+    share_secret,
+)
+
+RNG = lambda seed=0: np.random.default_rng(seed)
+
+
+def field_secret(shape, seed=0):
+    return RNG(seed).integers(0, PRIME, size=shape, dtype=np.uint64)
+
+
+class TestShareReconstruct:
+    def test_any_t_shares_reconstruct(self):
+        secret = field_secret(10, seed=1)
+        shares = share_secret(secret, t=3, n=5, rng=RNG(2))
+        for combo in combinations(range(5), 3):
+            got = reconstruct_secret({i: shares[i] for i in combo}, t=3)
+            np.testing.assert_array_equal(got, secret)
+
+    def test_fewer_than_t_shares_rejected(self):
+        secret = field_secret(4)
+        shares = share_secret(secret, t=3, n=5, rng=RNG())
+        with pytest.raises(ValueError):
+            reconstruct_secret({0: shares[0], 1: shares[1]}, t=3)
+
+    def test_t_minus_one_shares_reveal_nothing(self):
+        """With the same RNG, t-1 shares are identical for two different
+        secrets (perfect secrecy below the threshold) — checked via the
+        uniformity of single shares across many sharings."""
+        # Single share distribution is uniform regardless of the secret.
+        zeros = np.zeros(2000, dtype=np.uint64)
+        shares = share_secret(zeros, t=2, n=2, rng=RNG(7))
+        frac_high = np.mean(shares[0].astype(np.float64) > PRIME / 2)
+        assert 0.45 < frac_high < 0.55
+
+    def test_t_equals_one_constant_polynomial(self):
+        secret = field_secret(5, seed=3)
+        shares = share_secret(secret, t=1, n=4, rng=RNG())
+        for i in range(4):
+            np.testing.assert_array_equal(shares[i], secret)
+
+    def test_t_equals_n(self):
+        secret = field_secret(6, seed=4)
+        shares = share_secret(secret, t=4, n=4, rng=RNG(5))
+        got = reconstruct_secret({i: shares[i] for i in range(4)}, t=4)
+        np.testing.assert_array_equal(got, secret)
+
+    def test_linearity_of_shares(self):
+        """share(a) + share(b) reconstructs a + b — the property the
+        aggregation relies on."""
+        a = field_secret(8, seed=6)
+        b = field_secret(8, seed=7)
+        rng = RNG(8)
+        sa = share_secret(a, t=3, n=5, rng=rng)
+        sb = share_secret(b, t=3, n=5, rng=rng)
+        summed = {
+            i: ((sa[i].astype(object) + sb[i].astype(object)) % PRIME).astype(np.uint64)
+            for i in (0, 2, 4)
+        }
+        got = reconstruct_secret(summed, t=3)
+        expected = ((a.astype(object) + b.astype(object)) % PRIME).astype(np.uint64)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            share_secret(field_secret(2), t=0, n=3, rng=RNG())
+        with pytest.raises(ValueError):
+            share_secret(field_secret(2), t=4, n=3, rng=RNG())
+        with pytest.raises(ValueError):
+            share_secret(np.array([PRIME], dtype=np.uint64), t=1, n=2, rng=RNG())
+
+    @given(
+        n=st.integers(1, 7),
+        data=st.data(),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_threshold_reconstruction(self, n, data, seed):
+        t = data.draw(st.integers(1, n))
+        rng = np.random.default_rng(seed)
+        secret = rng.integers(0, PRIME, size=4, dtype=np.uint64)
+        shares = share_secret(secret, t=t, n=n, rng=rng)
+        chosen = sorted(
+            data.draw(
+                st.lists(
+                    st.integers(0, n - 1), min_size=t, max_size=n, unique=True
+                )
+            )
+        )
+        got = reconstruct_secret({i: shares[i] for i in chosen}, t=t)
+        np.testing.assert_array_equal(got, secret)
+
+
+class TestShamirSac:
+    def test_average_close_to_true_mean(self):
+        models = [RNG(i).normal(size=30) for i in range(5)]
+        avg = shamir_sac_average(models, t=3, rng=RNG(9))
+        np.testing.assert_allclose(avg, np.mean(models, axis=0), atol=1e-4)
+
+    def test_tolerates_dropouts_up_to_n_minus_t(self):
+        models = [RNG(i).normal(size=12) for i in range(5)]
+        avg = shamir_sac_average(models, t=3, rng=RNG(1), dropouts={0, 4})
+        np.testing.assert_allclose(avg, np.mean(models, axis=0), atol=1e-4)
+
+    def test_too_many_dropouts_rejected(self):
+        models = [RNG(i).normal(size=4) for i in range(4)]
+        with pytest.raises(ValueError):
+            shamir_sac_average(models, t=3, rng=RNG(), dropouts={0, 1})
+
+    def test_dropout_models_still_counted(self):
+        models = [np.full(3, 30.0), np.zeros(3), np.zeros(3)]
+        avg = shamir_sac_average(models, t=2, rng=RNG(2), dropouts={0})
+        np.testing.assert_allclose(avg, np.full(3, 10.0), atol=1e-4)
+
+
+class TestShamirCost:
+    def test_cheaper_than_replicated_for_small_k(self):
+        from repro.secure.fault_tolerant import expected_ft_sac_bits
+
+        n, k, w = 5, 3, 1000
+        # Same 64-bit width for a fair comparison.
+        replicated = expected_ft_sac_bits(n, k, w, bits_per_param=64)
+        shamir = shamir_cost_bits(n, k, w, bits_per_param=64)
+        assert shamir < replicated
+
+    def test_formula(self):
+        assert shamir_cost_bits(5, 3, 10, bits_per_param=64) == (20 + 2) * 640
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            shamir_cost_bits(3, 0, 10)

@@ -1,0 +1,153 @@
+"""Unit tests for the event loop: ordering, cancellation, run helpers."""
+
+import pytest
+
+from repro.simnet.events import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_pop_orders_by_time(self):
+        q = EventQueue()
+        fired = []
+        q.push(5.0, lambda: fired.append(5))
+        q.push(1.0, lambda: fired.append(1))
+        q.push(3.0, lambda: fired.append(3))
+        while (e := q.pop()) is not None:
+            e.callback()
+        assert fired == [1, 3, 5]
+
+    def test_ties_broken_by_insertion_order(self):
+        q = EventQueue()
+        fired = []
+        for i in range(10):
+            q.push(7.0, lambda i=i: fired.append(i))
+        while (e := q.pop()) is not None:
+            e.callback()
+        assert fired == list(range(10))
+
+    def test_cancelled_events_skipped(self):
+        q = EventQueue()
+        e1 = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        e1.cancelled = True
+        popped = q.pop()
+        assert popped is not None and popped.time == 2.0
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        e1 = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        e1.cancelled = True
+        assert q.peek_time() == 2.0
+
+    def test_len_counts_live_events(self):
+        q = EventQueue()
+        e1 = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        assert len(q) == 2
+        e1.cancelled = True
+        assert len(q) == 1
+
+    def test_empty_queue(self):
+        q = EventQueue()
+        assert q.pop() is None
+        assert q.peek_time() is None
+        assert not q
+
+
+class TestSimulator:
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(10.0, lambda: times.append(sim.now))
+        sim.schedule(20.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [10.0, 20.0]
+        assert sim.now == 20.0
+
+    def test_negative_delay_clamped(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        fired = []
+        sim.schedule(-3.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [5.0]
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(42.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [42.0]
+
+    def test_cancel_prevents_firing(self):
+        sim = Simulator()
+        fired = []
+        h = sim.schedule(1.0, lambda: fired.append(1))
+        h.cancel()
+        sim.run()
+        assert fired == []
+        assert h.cancelled
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            fired.append(("outer", sim.now))
+            sim.schedule(5.0, lambda: fired.append(("inner", sim.now)))
+
+        sim.schedule(10.0, outer)
+        sim.run()
+        assert fired == [("outer", 10.0), ("inner", 15.0)]
+
+    def test_run_until_stops_at_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.schedule(30.0, lambda: fired.append(30))
+        sim.run_until(20.0)
+        assert fired == [10]
+        assert sim.now == 20.0
+        sim.run()
+        assert fired == [10, 30]
+
+    def test_run_until_event_exactly_at_boundary_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(20.0, lambda: fired.append(20))
+        sim.run_until(20.0)
+        assert fired == [20]
+
+    def test_run_while_predicate(self):
+        sim = Simulator()
+        counter = []
+        for i in range(100):
+            sim.schedule(float(i), lambda: counter.append(1))
+        done = sim.run_while(lambda: len(counter) < 5)
+        assert done
+        assert len(counter) == 5
+
+    def test_run_while_queue_drains(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        done = sim.run_while(lambda: True)
+        assert not done
+
+    def test_livelock_guard(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.schedule(0.0, rearm)
+
+        sim.schedule(0.0, rearm)
+        with pytest.raises(RuntimeError, match="livelock"):
+            sim.run(max_events=1000)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(7):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 7

@@ -1,0 +1,66 @@
+"""Tests for the per-pair latency matrix model."""
+
+import numpy as np
+import pytest
+
+from repro.simnet import LatencyMatrix, Network, SimNode, Simulator
+
+RNG = lambda seed=0: np.random.default_rng(seed)
+
+
+class Recorder(SimNode):
+    def __init__(self, node_id, sim, network):
+        super().__init__(node_id, sim, network)
+        self.received = []
+
+    def on_message(self, src, msg):
+        self.received.append(self.sim.now)
+
+
+class TestLatencyMatrix:
+    def test_dict_lookup(self):
+        model = LatencyMatrix({(0, 1): 5.0, (1, 0): 50.0})
+        assert model.sample(0, 1, RNG()) == 5.0
+        assert model.sample(1, 0, RNG()) == 50.0
+
+    def test_default_for_missing_pair(self):
+        model = LatencyMatrix({(0, 1): 5.0}, default_ms=99.0)
+        assert model.sample(2, 3, RNG()) == 99.0
+
+    def test_ndarray_input(self):
+        mat = np.array([[0.0, 10.0], [20.0, 0.0]])
+        model = LatencyMatrix(mat)
+        assert model.sample(0, 1, RNG()) == 10.0
+        assert model.sample(1, 0, RNG()) == 20.0
+
+    def test_jitter_bounds(self):
+        model = LatencyMatrix({(0, 1): 10.0}, jitter=0.5)
+        rng = RNG(1)
+        samples = [model.sample(0, 1, rng) for _ in range(200)]
+        assert all(10.0 <= s <= 15.0 for s in samples)
+        assert len(set(samples)) > 1
+
+    def test_asymmetric_delivery_times(self):
+        sim = Simulator()
+        network = Network(
+            sim,
+            latency=LatencyMatrix({(0, 1): 5.0, (1, 0): 100.0}),
+            rng=RNG(),
+        )
+        a = Recorder(0, sim, network)
+        b = Recorder(1, sim, network)
+        a.send(1, "fast")
+        b.send(0, "slow")
+        sim.run()
+        assert b.received == [5.0]
+        assert a.received == [100.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyMatrix({(0, 1): -1.0})
+        with pytest.raises(ValueError):
+            LatencyMatrix(np.ones((2, 3)))
+        with pytest.raises(ValueError):
+            LatencyMatrix(np.full((2, 2), -1.0))
+        with pytest.raises(ValueError):
+            LatencyMatrix({}, jitter=-0.1)
