@@ -22,6 +22,9 @@ Subpackages
 ``repro.simnet``
     Discrete-event network simulator with crash/partition injection and
     per-message byte accounting.
+``repro.obs``
+    Unified observability: typed event bus, metrics registry, span
+    timers, and JSONL / Prometheus / Chrome-trace exporters.
 ``repro.analysis``
     Closed-form fault-tolerance thresholds (paper Sec. VII-D) and Monte
     Carlo validation.
@@ -36,6 +39,7 @@ __all__ = [
     "experiments",
     "fl",
     "nn",
+    "obs",
     "raft",
     "secure",
     "simnet",

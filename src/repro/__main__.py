@@ -8,6 +8,13 @@ optionally dumps the raw series to CSV::
     python -m repro fig10 --trials 100
     python -m repro fig13
     python -m repro all   --csv out/
+    python -m repro trace --trace-out out/trace.json
+
+``trace`` runs the failover + wire-round observability scenario and
+writes a JSONL event log, a Prometheus metrics dump, and a Chrome
+``trace_event`` timeline (see ``docs/observability.md``).  The artifact
+flags also work with any other figure: ``--events-out``/``--metrics-out``
+capture the run's events and metrics as a side effect.
 """
 
 from __future__ import annotations
@@ -15,6 +22,10 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+
+from .obs import get_logger, set_level
+
+log = get_logger("repro")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -27,10 +38,12 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=[
             "env", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
             "fig12", "fig13", "fig14", "multilayer", "all", "report",
-            "plan",
+            "plan", "trace",
         ],
         help="which table/figure to regenerate ('report' writes everything "
-        "to a markdown file; 'plan' runs the deployment planner)",
+        "to a markdown file; 'plan' runs the deployment planner; 'trace' "
+        "runs the observability scenario and writes event/metric/timeline "
+        "artifacts)",
     )
     parser.add_argument("--out", default="report.md",
                         help="output path for 'report'")
@@ -50,122 +63,174 @@ def _build_parser() -> argparse.ArgumentParser:
                         default="blobs", help="FL workload (figs 6-9)")
     parser.add_argument("--csv", metavar="DIR", default=None,
                         help="also write raw series as CSV into DIR")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="'trace': scenario RNG seed")
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="write a Chrome trace_event JSON timeline "
+                        "(open in https://ui.perfetto.dev)")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write a Prometheus text metrics dump")
+    parser.add_argument("--events-out", metavar="PATH", default=None,
+                        help="write the structured event log as JSONL")
+    parser.add_argument("--log-level", default="info",
+                        choices=["debug", "info", "warning", "error"],
+                        help="status-line verbosity (default: info)")
     return parser
+
+
+def _trace_paths(args: argparse.Namespace) -> tuple[str, str, str]:
+    """Resolve artifact paths for 'trace', defaulting into trace_out/."""
+    base = "trace_out"
+    events = args.events_out or os.path.join(base, "events.jsonl")
+    metrics = args.metrics_out or os.path.join(base, "metrics.prom")
+    chrome = args.trace_out or os.path.join(base, "trace.json")
+    for path in (events, metrics, chrome):
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+    return events, metrics, chrome
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    set_level(args.log_level)
+
+    if args.figure == "trace":
+        from .obs.scenario import run_trace_scenario
+
+        events, metrics, chrome = _trace_paths(args)
+        artifacts = run_trace_scenario(
+            events, metrics, chrome, seed=args.seed,
+        )
+        return 0 if artifacts.summary["bits_exact"] else 1
+
     from . import experiments as ex
+    from .obs import runtime as _runtime
 
-    if args.figure == "report":
-        from .experiments.report import write_report
+    # Any other figure: optionally capture events/metrics as a side effect.
+    capture = any((args.events_out, args.metrics_out, args.trace_out))
+    ctx = _runtime.observe() if capture else None
+    obs = ctx.__enter__() if ctx is not None else None
 
-        path = write_report(
-            args.out, rounds=args.rounds, trials=args.trials,
-            peers=args.peers, dataset=args.dataset,
+    try:
+        if args.figure == "report":
+            from .experiments.report import write_report
+
+            path = write_report(
+                args.out, rounds=args.rounds, trials=args.trials,
+                peers=args.peers, dataset=args.dataset,
+            )
+            log.info("wrote %s", path)
+            return 0
+
+        if args.figure == "plan":
+            from .core.planner import PlanRequirements, enumerate_plans
+            from .nn.zoo import PAPER_CNN_PARAMS
+
+            req = PlanRequirements(sac_dropouts=args.plan_dropouts)
+            plans = enumerate_plans(
+                args.plan_peers, PAPER_CNN_PARAMS, req,
+                bandwidth_bps=args.plan_bandwidth,
+            )
+            print(f"Feasible plans for N={args.plan_peers} "
+                  f"(tolerating {args.plan_dropouts} dropout/subgroup), "
+                  "Fig. 5 CNN:")
+            print(f"{'n':>4}{'k':>4}{'m':>4}{'Gb/round':>10}{'gain':>8}"
+                  f"{'latency s':>11}")
+            for p in plans:
+                lat = f"{p.latency_ms / 1e3:10.2f}" if p.latency_ms else f"{'-':>10}"
+                print(f"{p.n:>4}{p.k:>4}{p.m:>4}{p.volume_gb:>10.2f}"
+                      f"{p.reduction_vs_baseline:>7.2f}x{lat:>11}")
+            return 0
+
+        csv_dir = args.csv
+        want = (
+            ["fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+             "fig13", "fig14", "multilayer", "env"]
+            if args.figure == "all"
+            else [args.figure]
         )
-        print(f"wrote {path}")
+
+        def maybe_csv(writer, data, name):
+            if csv_dir is not None:
+                path = writer(data, os.path.join(csv_dir, name))
+                log.info("[csv] wrote %s", path)
+
+        fl_cache: dict[str, list] = {}
+
+        def fl_runs(which: str):
+            if which not in fl_cache:
+                if which == "fig6_7":
+                    fl_cache[which] = ex.run_fig6_fig7(
+                        n_peers=args.peers, rounds=args.rounds, dataset=args.dataset
+                    )
+                else:
+                    fl_cache[which] = ex.run_fig8_fig9(
+                        n_peers=args.peers, rounds=args.rounds, dataset=args.dataset
+                    )
+            return fl_cache[which]
+
+        for fig in want:
+            if fig == "env":
+                print(ex.format_table1())
+            elif fig in ("fig6", "fig7"):
+                runs = fl_runs("fig6_7")
+                title = "Fig. 6 — final test accuracy" if fig == "fig6" else \
+                    "Fig. 7 — training loss (see CSV for curves)"
+                print(ex.format_accuracy_table(runs, title))
+                from .experiments.csv_export import write_fl_runs
+
+                maybe_csv(write_fl_runs, runs, f"{fig}_curves.csv")
+            elif fig in ("fig8", "fig9"):
+                runs = fl_runs("fig8_9")
+                title = "Fig. 8 — accuracy vs fraction p" if fig == "fig8" else \
+                    "Fig. 9 — loss vs fraction p (see CSV for curves)"
+                print(ex.format_accuracy_table(runs, title))
+                from .experiments.csv_export import write_fl_runs
+
+                maybe_csv(write_fl_runs, runs, f"{fig}_curves.csv")
+            elif fig in ("fig10", "fig11", "fig12"):
+                runner = {"fig10": ex.run_fig10, "fig11": ex.run_fig11,
+                          "fig12": ex.run_fig12}[fig]
+                stats = runner(trials=args.trials)
+                titles = {
+                    "fig10": "Fig. 10 — subgroup leader re-election",
+                    "fig11": "Fig. 11 — re-election + FedAvg join",
+                    "fig12": "Fig. 12 — FedAvg leader crash, full recovery",
+                }
+                print(ex.format_recovery_table(stats, titles[fig]))
+                from .experiments.csv_export import write_recovery_stats
+
+                maybe_csv(write_recovery_stats, stats, f"{fig}_recovery.csv")
+            elif fig == "fig13":
+                points = ex.run_fig13()
+                print(ex.format_fig13(points))
+                from .experiments.csv_export import write_cost_points
+
+                maybe_csv(write_cost_points, points, "fig13_costs.csv")
+            elif fig == "fig14":
+                series = ex.run_fig14()
+                print(ex.format_fig14(series))
+                from .experiments.csv_export import write_cost_points
+
+                maybe_csv(write_cost_points, series, "fig14_costs.csv")
+            elif fig == "multilayer":
+                points = ex.run_multilayer_table()
+                print(ex.format_multilayer(points))
+                from .experiments.csv_export import write_cost_points
+
+                maybe_csv(write_cost_points, points, "multilayer_costs.csv")
+            print()
         return 0
-
-    if args.figure == "plan":
-        from .core.planner import PlanRequirements, enumerate_plans
-        from .nn.zoo import PAPER_CNN_PARAMS
-
-        req = PlanRequirements(sac_dropouts=args.plan_dropouts)
-        plans = enumerate_plans(
-            args.plan_peers, PAPER_CNN_PARAMS, req,
-            bandwidth_bps=args.plan_bandwidth,
-        )
-        print(f"Feasible plans for N={args.plan_peers} "
-              f"(tolerating {args.plan_dropouts} dropout/subgroup), "
-              "Fig. 5 CNN:")
-        print(f"{'n':>4}{'k':>4}{'m':>4}{'Gb/round':>10}{'gain':>8}"
-              f"{'latency s':>11}")
-        for p in plans:
-            lat = f"{p.latency_ms / 1e3:10.2f}" if p.latency_ms else f"{'-':>10}"
-            print(f"{p.n:>4}{p.k:>4}{p.m:>4}{p.volume_gb:>10.2f}"
-                  f"{p.reduction_vs_baseline:>7.2f}x{lat:>11}")
-        return 0
-
-    csv_dir = args.csv
-    want = (
-        ["fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-         "fig13", "fig14", "multilayer", "env"]
-        if args.figure == "all"
-        else [args.figure]
-    )
-
-    def maybe_csv(writer, data, name):
-        if csv_dir is not None:
-            path = writer(data, os.path.join(csv_dir, name))
-            print(f"[csv] wrote {path}")
-
-    fl_cache: dict[str, list] = {}
-
-    def fl_runs(which: str):
-        if which not in fl_cache:
-            if which == "fig6_7":
-                fl_cache[which] = ex.run_fig6_fig7(
-                    n_peers=args.peers, rounds=args.rounds, dataset=args.dataset
-                )
-            else:
-                fl_cache[which] = ex.run_fig8_fig9(
-                    n_peers=args.peers, rounds=args.rounds, dataset=args.dataset
-                )
-        return fl_cache[which]
-
-    for fig in want:
-        if fig == "env":
-            print(ex.format_table1())
-        elif fig in ("fig6", "fig7"):
-            runs = fl_runs("fig6_7")
-            title = "Fig. 6 — final test accuracy" if fig == "fig6" else \
-                "Fig. 7 — training loss (see CSV for curves)"
-            print(ex.format_accuracy_table(runs, title))
-            from .experiments.csv_export import write_fl_runs
-
-            maybe_csv(write_fl_runs, runs, f"{fig}_curves.csv")
-        elif fig in ("fig8", "fig9"):
-            runs = fl_runs("fig8_9")
-            title = "Fig. 8 — accuracy vs fraction p" if fig == "fig8" else \
-                "Fig. 9 — loss vs fraction p (see CSV for curves)"
-            print(ex.format_accuracy_table(runs, title))
-            from .experiments.csv_export import write_fl_runs
-
-            maybe_csv(write_fl_runs, runs, f"{fig}_curves.csv")
-        elif fig in ("fig10", "fig11", "fig12"):
-            runner = {"fig10": ex.run_fig10, "fig11": ex.run_fig11,
-                      "fig12": ex.run_fig12}[fig]
-            stats = runner(trials=args.trials)
-            titles = {
-                "fig10": "Fig. 10 — subgroup leader re-election",
-                "fig11": "Fig. 11 — re-election + FedAvg join",
-                "fig12": "Fig. 12 — FedAvg leader crash, full recovery",
-            }
-            print(ex.format_recovery_table(stats, titles[fig]))
-            from .experiments.csv_export import write_recovery_stats
-
-            maybe_csv(write_recovery_stats, stats, f"{fig}_recovery.csv")
-        elif fig == "fig13":
-            points = ex.run_fig13()
-            print(ex.format_fig13(points))
-            from .experiments.csv_export import write_cost_points
-
-            maybe_csv(write_cost_points, points, "fig13_costs.csv")
-        elif fig == "fig14":
-            series = ex.run_fig14()
-            print(ex.format_fig14(series))
-            from .experiments.csv_export import write_cost_points
-
-            maybe_csv(write_cost_points, series, "fig14_costs.csv")
-        elif fig == "multilayer":
-            points = ex.run_multilayer_table()
-            print(ex.format_multilayer(points))
-            from .experiments.csv_export import write_cost_points
-
-            maybe_csv(write_cost_points, points, "multilayer_costs.csv")
-        print()
-    return 0
+    finally:
+        if ctx is not None:
+            ctx.__exit__(None, None, None)
+            if args.events_out:
+                log.info("events  -> %s", obs.write_events_jsonl(args.events_out))
+            if args.metrics_out:
+                log.info("metrics -> %s", obs.write_prometheus(args.metrics_out))
+            if args.trace_out:
+                log.info("timeline-> %s", obs.write_chrome_trace(args.trace_out))
 
 
 if __name__ == "__main__":

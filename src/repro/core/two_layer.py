@@ -20,6 +20,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..fl.fedavg import fedavg
+from ..obs import runtime as _obs
 from ..secure.errors import SacAbort, SacReconstructionError
 from ..secure.fault_tolerant import fault_tolerant_sac
 from ..secure.sac import DEFAULT_BITS_PER_PARAM
@@ -76,6 +77,16 @@ class TwoLayerAggregator:
         self.topology = topology
         self.k = k
         self.bits_per_param = bits_per_param
+
+    @staticmethod
+    def _group_failed(group: int, reason: str) -> None:
+        if _obs.OBS.enabled:
+            _obs.OBS.emit("agg.group_failed", group=group, reason=reason)
+            _obs.OBS.metrics.counter(
+                "agg_group_failures_total",
+                "Subgroups excluded from an aggregation round.",
+                labels=("reason",),
+            ).labels(reason=reason).inc()
 
     def aggregate(
         self,
@@ -136,61 +147,66 @@ class TwoLayerAggregator:
         bits = 0.0
         messages = 0
 
-        for gi in groups:
-            members = tuple(p for p in topo.groups[gi] if p not in absent)
-            if not members:
-                failed.append(gi)
-                continue
-            group_models = [models[p] for p in members]
-            crashed_ids = dropouts.get(gi, set())
-            bad = crashed_ids - set(members)
-            if bad:
-                raise ValueError(
-                    f"dropout peers {sorted(bad)} are not present members "
-                    f"of group {gi}"
-                )
-            crashed_pos = {members.index(p) for p in crashed_ids}
-            if leaders[gi] not in members:
-                # No (alive) leader: the subgroup sits this round out.
-                failed.append(gi)
-                continue
-            leader_pos = members.index(leaders[gi])
-            n = len(members)
-            # Within the two-layer system SAC uses the leader-collection
-            # pattern of Sec. VII-A — followers send their subtotal to the
-            # subgroup leader, (n^2 - 1)|w| per failure-free round — which
-            # is exactly k-out-of-n SAC with k = n.  A configured k < n
-            # additionally replicates shares for fault tolerance.
-            k_eff = min(self.k, n) if self.k is not None else n
-            if leader_pos in crashed_pos:
-                # A crashed leader stalls the subgroup for this round (Raft
-                # re-election is the two-layer Raft backend's job).
-                failed.append(gi)
-                continue
-            try:
-                res = fault_tolerant_sac(
-                    group_models,
-                    k=k_eff,
-                    rng=rng,
-                    leader=leader_pos,
-                    crashed=crashed_pos,
-                    bits_per_param=self.bits_per_param,
-                )
-            except SacReconstructionError:
-                # The subgroup misses this round; the share-exchange phase
-                # had already been paid before the failure was detected.
-                w_bits_wasted = models[0].size * self.bits_per_param
-                bits += n * (n - 1) * (n - k_eff + 1) * w_bits_wasted
-                messages += n * (n - 1)
-                failed.append(gi)
-                continue
-            subgroup_means.append(res.average)
-            subgroup_weights.append(float(len(members)))
-            # Dropouts' shares were already distributed, so their models
-            # are still counted in the subgroup average.
-            included.extend(members)
-            bits += res.bits_sent
-            messages += res.messages_sent
+        with _obs.OBS.span("agg.two_layer", groups=len(groups), k=self.k):
+            for gi in groups:
+                members = tuple(p for p in topo.groups[gi] if p not in absent)
+                if not members:
+                    self._group_failed(gi, "all_absent")
+                    failed.append(gi)
+                    continue
+                group_models = [models[p] for p in members]
+                crashed_ids = dropouts.get(gi, set())
+                bad = crashed_ids - set(members)
+                if bad:
+                    raise ValueError(
+                        f"dropout peers {sorted(bad)} are not present members "
+                        f"of group {gi}"
+                    )
+                crashed_pos = {members.index(p) for p in crashed_ids}
+                if leaders[gi] not in members:
+                    # No (alive) leader: the subgroup sits this round out.
+                    self._group_failed(gi, "no_leader")
+                    failed.append(gi)
+                    continue
+                leader_pos = members.index(leaders[gi])
+                n = len(members)
+                # Within the two-layer system SAC uses the leader-collection
+                # pattern of Sec. VII-A — followers send their subtotal to the
+                # subgroup leader, (n^2 - 1)|w| per failure-free round — which
+                # is exactly k-out-of-n SAC with k = n.  A configured k < n
+                # additionally replicates shares for fault tolerance.
+                k_eff = min(self.k, n) if self.k is not None else n
+                if leader_pos in crashed_pos:
+                    # A crashed leader stalls the subgroup for this round (Raft
+                    # re-election is the two-layer Raft backend's job).
+                    self._group_failed(gi, "leader_crashed")
+                    failed.append(gi)
+                    continue
+                try:
+                    res = fault_tolerant_sac(
+                        group_models,
+                        k=k_eff,
+                        rng=rng,
+                        leader=leader_pos,
+                        crashed=crashed_pos,
+                        bits_per_param=self.bits_per_param,
+                    )
+                except SacReconstructionError:
+                    # The subgroup misses this round; the share-exchange phase
+                    # had already been paid before the failure was detected.
+                    w_bits_wasted = models[0].size * self.bits_per_param
+                    bits += n * (n - 1) * (n - k_eff + 1) * w_bits_wasted
+                    messages += n * (n - 1)
+                    self._group_failed(gi, "reconstruction")
+                    failed.append(gi)
+                    continue
+                subgroup_means.append(res.average)
+                subgroup_weights.append(float(len(members)))
+                # Dropouts' shares were already distributed, so their models
+                # are still counted in the subgroup average.
+                included.extend(members)
+                bits += res.bits_sent
+                messages += res.messages_sent
 
         if not subgroup_means:
             raise SacAbort(set().union(*dropouts.values()) if dropouts else set())

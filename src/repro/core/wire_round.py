@@ -20,6 +20,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..fl.fedavg import fedavg
+from ..obs import runtime as _obs
 from ..secure.protocol import SacProtocolPeer
 from ..secure.sac import DEFAULT_BITS_PER_PARAM
 from ..simnet import FixedLatency, Network, Simulator, TraceRecorder
@@ -61,6 +62,16 @@ class _TwoLayerPeer(SacProtocolPeer):
     # ----------------------------------------------------- subgroup -> fed
     def on_average(self, average: np.ndarray) -> None:
         ctx = self.round_ctx
+        if _obs.OBS.enabled:
+            _obs.OBS.emit(
+                "round.subgroup_done", t_ms=self.sim.now,
+                node=self.node_id, group=self.group,
+            )
+            _obs.OBS.metrics.histogram(
+                "subgroup_sac_complete_ms",
+                "Virtual time at which each subgroup's SAC average lands.",
+                labels=("group",),
+            ).labels(group=str(self.group)).observe(self.sim.now)
         upload = _Upload(self.group, average, weight=float(self.n))
         if self.node_id == ctx.fed_leader:
             self._accept_upload(upload)
@@ -79,6 +90,11 @@ class _TwoLayerPeer(SacProtocolPeer):
                 [u.average for _, u in items],
                 weights=[u.weight for _, u in items],
             )
+            if _obs.OBS.enabled:
+                _obs.OBS.emit(
+                    "round.fed_aggregate", t_ms=self.sim.now,
+                    node=self.node_id, groups=ctx.n_groups,
+                )
             msg = _GlobalModel(global_avg)
             self._adopt_global(global_avg)
             # Push down through the other subgroup leaders...
@@ -187,10 +203,19 @@ def run_two_layer_wire_round(
         sim.schedule(0.0, peer.start_round)
 
     everyone = set(range(topology.n_peers))
-    sim.run_while(
-        lambda: ctx.done_peers != everyone and sim.now < round_timeout_ms
-    )
+    with _obs.OBS.span(
+        "round.two_layer", clock=lambda: sim.now,
+        peers=topology.n_peers, groups=topology.n_groups,
+    ):
+        sim.run_while(
+            lambda: ctx.done_peers != everyone and sim.now < round_timeout_ms
+        )
     completed = ctx.done_peers == everyone
+    if _obs.OBS.enabled:
+        _obs.OBS.emit(
+            "round.complete", t_ms=sim.now, completed=completed,
+            bits=trace.total_bits, messages=trace.total_messages,
+        )
     fed_leader_peer = next(p for p in peers if p.node_id == ctx.fed_leader)
     finish = (
         max(p.global_model_time for p in peers) if completed else None

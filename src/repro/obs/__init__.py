@@ -1,0 +1,58 @@
+"""Unified observability: event tracing, metrics, spans, and exporters.
+
+The paper's entire evaluation (Figs. 6–14) is built on *observing* the
+system — per-round traffic, election downtime, recovery timelines.
+This package is that instrumentation as a first-class subsystem:
+
+- :mod:`.bus` — typed events with sim-time + wall-time and a hot-path
+  message-record plane that :class:`~repro.simnet.trace.TraceRecorder`
+  subscribes to (byte accounting and tracing share one pipeline);
+- :mod:`.metrics` — counters, gauges, and exact-quantile histograms
+  with labels, rendered in Prometheus text exposition format;
+- :mod:`.spans` — phase timers over the virtual and wall clocks;
+- :mod:`.export` — JSONL event logs and Chrome ``trace_event`` JSON
+  (renders as a timeline in ``about://tracing`` / Perfetto);
+- :mod:`.runtime` — the process-global on/off switch: instrumented hot
+  paths guard on ``runtime.OBS.enabled`` and cost nothing when off;
+- :mod:`.logging` — a leveled logger that doubles as an event source.
+
+``repro.obs.scenario`` (the ``python -m repro trace`` scenario) is
+imported lazily, not here, because it depends on ``repro.core``.
+
+See ``docs/observability.md`` for the event taxonomy and metric names.
+"""
+
+from .bus import Event, EventBus
+from .export import (
+    EventCollector,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_events_jsonl,
+)
+from .logging import ObsLogger, get_logger, set_level
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .runtime import Observability, get, install, observe, uninstall
+from .spans import NullSpan, Span
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "EventCollector",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_events_jsonl",
+    "ObsLogger",
+    "get_logger",
+    "set_level",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "get",
+    "install",
+    "observe",
+    "uninstall",
+    "NullSpan",
+    "Span",
+]

@@ -1,0 +1,136 @@
+"""Exporters: JSONL event log, Chrome ``trace_event`` JSON, Prometheus text.
+
+Three artifact formats cover the three consumption modes:
+
+- **JSONL** — one event per line, greppable and loadable with any tool;
+  the machine-readable ground truth of a run.
+- **Chrome trace JSON** — the ``trace_event`` format understood by
+  ``about://tracing`` and https://ui.perfetto.dev: span events become
+  duration slices (``ph: "X"``), instants become instant events
+  (``ph: "i"``), and each event category gets its own process track with
+  one thread row per node, so a two-layer round renders as a timeline.
+- **Prometheus text** — rendered by
+  :meth:`repro.obs.metrics.MetricsRegistry.render_prometheus`; this
+  module only adds the file-writing convenience.
+
+The virtual simulation clock is the primary time base: events that carry
+``t_ms`` are placed at that timestamp, and events from purely functional
+code (no simulator) fall back to their wall-clock offset from the first
+event of the run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, Sequence
+
+from .bus import Event
+
+
+def _ensure_parent(path: str) -> None:
+    parent = os.path.dirname(os.path.abspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+
+
+class EventCollector:
+    """In-memory sink; subscribe it to a bus, then write artifacts."""
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def __call__(self, event: Event) -> None:
+        self.events.append(event)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+def _json_default(obj: object) -> object:
+    # numpy scalars, sets, and other non-JSON types degrade to strings.
+    try:
+        import numpy as np
+
+        if isinstance(obj, np.generic):
+            return obj.item()
+    except ImportError:  # pragma: no cover - numpy is a hard dep
+        pass
+    if isinstance(obj, (set, frozenset, tuple)):
+        return sorted(obj) if isinstance(obj, (set, frozenset)) else list(obj)
+    return str(obj)
+
+
+def write_events_jsonl(path: str, events: Iterable[Event]) -> str:
+    """One JSON object per line, in emission (seq) order."""
+    _ensure_parent(path)
+    with open(path, "w") as fh:
+        for event in events:
+            fh.write(json.dumps(event.to_dict(), default=_json_default))
+            fh.write("\n")
+    return path
+
+
+def to_chrome_trace(events: Sequence[Event]) -> dict:
+    """Convert events to a Chrome ``trace_event`` JSON object.
+
+    Mapping: category -> pid (one "process" per subsystem), node -> tid
+    (one "thread" row per node; node-less events land on tid 0).
+    Timestamps are microseconds as the format requires.
+    """
+    wall0 = min((e.wall_s for e in events), default=0.0)
+    pids: dict[str, int] = {}
+    trace_events: list[dict] = []
+
+    def pid_for(category: str) -> int:
+        pid = pids.get(category)
+        if pid is None:
+            pid = pids[category] = len(pids) + 1
+            trace_events.append({
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": category},
+            })
+        return pid
+
+    for event in events:
+        if event.t_ms is not None:
+            ts_us = event.t_ms * 1e3
+        else:
+            ts_us = (event.wall_s - wall0) * 1e6
+        record = {
+            "name": event.name,
+            "cat": event.category,
+            "pid": pid_for(event.category),
+            "tid": event.node if event.node is not None else 0,
+            "ts": round(ts_us, 3),
+            "args": {
+                k: v for k, v in event.to_dict().items()
+                if k not in ("seq", "name", "t_ms", "wall_s", "node", "dur_ms")
+            },
+        }
+        if event.dur_ms is not None:
+            record["ph"] = "X"
+            record["dur"] = round(event.dur_ms * 1e3, 3)
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        trace_events.append(record)
+
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, events: Sequence[Event]) -> str:
+    _ensure_parent(path)
+    with open(path, "w") as fh:
+        json.dump(to_chrome_trace(events), fh, default=_json_default)
+    return path
+
+
+def write_text(path: str, text: str) -> str:
+    _ensure_parent(path)
+    with open(path, "w") as fh:
+        fh.write(text)
+    return path

@@ -23,6 +23,7 @@ from typing import Any, Callable, Iterable, Optional, Protocol
 
 import numpy as np
 
+from ..obs import runtime as _obs
 from .log import RaftLog
 from .messages import (
     AppendEntries,
@@ -163,6 +164,26 @@ class RaftNode:
         self.became_leader_at: Optional[float] = None
         self.elections_started = 0
 
+    # -------------------------------------------------------- observability
+    def _emit(self, name: str, **fields: Any) -> None:
+        """Guarded obs emission; call sites pre-check ``_obs.OBS.enabled``."""
+        _obs.OBS.emit(
+            name,
+            t_ms=self.transport.now,
+            node=self.node_id,
+            cluster=self.trace_kind,
+            term=self.current_term,
+            **fields,
+        )
+
+    def _change_role(self, role: Role) -> None:
+        if role is self.role:
+            return
+        old = self.role
+        self.role = role
+        if _obs.OBS.enabled:
+            self._emit("raft.role", role=role.value, previous=old.value)
+
     # ------------------------------------------------------------ properties
     @property
     def is_leader(self) -> bool:
@@ -234,6 +255,8 @@ class RaftNode:
         self._election_timer = None
         if self.role is Role.LEADER or not self.is_member:
             return
+        if _obs.OBS.enabled:
+            self._emit("raft.timeout", role=self.role.value)
         if self.timing.pre_election_wait and self.role is Role.FOLLOWER:
             # Paper semantics (Sec. III-C1 wording): "the follower
             # increments its term, changes its state to candidate" at the
@@ -244,7 +267,7 @@ class RaftNode:
             # second (term+1) round decides — which is what makes the
             # measured election time "about twice the maximum follower
             # timeout" in Fig. 10.
-            self.role = Role.CANDIDATE
+            self._change_role(Role.CANDIDATE)
             if not self.pre_vote:
                 # With PreVote the term must stay put until a majority
                 # signals electability; the candidacy wait still applies.
@@ -252,6 +275,8 @@ class RaftNode:
                 self.voted_for = self.node_id
                 self._votes = {self.node_id}
                 self._election_prearmed = True
+                if _obs.OBS.enabled:
+                    self._emit("raft.term")
             self._candidacy_timer = self.transport.set_timer(
                 self.timing.sample_timeout(self.rng), self._begin_election
             )
@@ -263,7 +288,7 @@ class RaftNode:
         self._cancel_candidacy_timer()
         if self.role is Role.LEADER or not self.is_member:
             return
-        self.role = Role.CANDIDATE
+        self._change_role(Role.CANDIDATE)
         if self.pre_vote and not self._election_prearmed:
             self._begin_prevote()
             return
@@ -299,7 +324,15 @@ class RaftNode:
             self.current_term += 1
             self.voted_for = self.node_id
             self._votes = {self.node_id}
+            if _obs.OBS.enabled:
+                self._emit("raft.term")
         self.elections_started += 1
+        if _obs.OBS.enabled:
+            self._emit("raft.election.start")
+            _obs.OBS.metrics.counter(
+                "raft_elections_total", "Elections started.",
+                labels=("cluster",),
+            ).labels(cluster=self.trace_kind).inc()
         msg = RequestVote(
             term=self.current_term,
             candidate_id=self.node_id,
@@ -322,9 +355,16 @@ class RaftNode:
         if self._election_timer is not None:
             self.transport.cancel_timer(self._election_timer)
             self._election_timer = None
-        self.role = Role.LEADER
+        self._change_role(Role.LEADER)
         self.leader_hint = self.node_id
         self.became_leader_at = self.transport.now
+        if _obs.OBS.enabled:
+            self._emit("raft.election.win", votes=len(self._votes))
+            _obs.OBS.metrics.gauge(
+                "raft_term", "Current term.", labels=("cluster", "node"),
+            ).labels(cluster=self.trace_kind, node=self.node_id).set(
+                self.current_term
+            )
         next_idx = self.log.last_index + 1
         self._next_index = {p: next_idx for p in self.members if p != self.node_id}
         self._match_index = {p: 0 for p in self.members if p != self.node_id}
@@ -337,10 +377,12 @@ class RaftNode:
 
     def _step_down(self, term: int) -> None:
         was_leader = self.role is Role.LEADER
-        self.role = Role.FOLLOWER
+        self._change_role(Role.FOLLOWER)
         if term > self.current_term:
             self.current_term = term
             self.voted_for = None
+            if _obs.OBS.enabled:
+                self._emit("raft.term")
         self._votes.clear()
         self._cancel_candidacy_timer()
         self._election_prearmed = False
@@ -442,6 +484,8 @@ class RaftNode:
             )
             if replicated >= self.quorum():
                 self.commit_index = n
+                if _obs.OBS.enabled:
+                    self._emit("raft.commit", index=n, replicated=replicated)
                 self._apply_committed()
                 break
 
@@ -478,6 +522,8 @@ class RaftNode:
         self._snapshot_members = frozenset(self._members_at(boundary))
         self._snapshot_state = self.take_state() if self.take_state else None
         self.log.compact_to(boundary)
+        if _obs.OBS.enabled:
+            self._emit("raft.snapshot.take", boundary=boundary)
         return boundary
 
     def _members_at(self, index: int) -> set[int]:
@@ -523,6 +569,9 @@ class RaftNode:
 
         if msg.last_included_index > self.commit_index:
             # Discard our (stale) log and adopt the snapshot wholesale.
+            if _obs.OBS.enabled:
+                self._emit("raft.snapshot.install",
+                           boundary=msg.last_included_index, leader=msg.leader_id)
             self.log.reset_to_snapshot(
                 msg.last_included_index, msg.last_included_term
             )
@@ -652,7 +701,7 @@ class RaftNode:
             return
         if msg.term < self.current_term:
             return
-        self.role = Role.CANDIDATE
+        self._change_role(Role.CANDIDATE)
         self._election_prearmed = False
         self._run_real_election()
 
@@ -668,6 +717,8 @@ class RaftNode:
                 self.voted_for = msg.candidate_id
                 if self.is_member and self._started:
                     self._reset_election_timer()
+        if _obs.OBS.enabled:
+            self._emit("raft.vote", candidate=msg.candidate_id, granted=granted)
         self._send(
             src,
             RequestVoteReply(term=self.current_term, voter_id=self.node_id, granted=granted),
@@ -706,7 +757,7 @@ class RaftNode:
             self._reset_election_timer()
         self._cancel_candidacy_timer()
         if self.role is Role.CANDIDATE:
-            self.role = Role.FOLLOWER
+            self._change_role(Role.FOLLOWER)
 
         if not self.log.matches(msg.prev_log_index, msg.prev_log_term):
             hint = min(self.log.last_index, msg.prev_log_index - 1)
@@ -750,6 +801,8 @@ class RaftNode:
 
         if msg.leader_commit > self.commit_index:
             self.commit_index = min(msg.leader_commit, self.log.last_index)
+            if _obs.OBS.enabled:
+                self._emit("raft.commit", index=self.commit_index)
             self._apply_committed()
 
         self._send(

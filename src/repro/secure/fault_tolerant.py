@@ -22,6 +22,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..obs import runtime as _obs
 from .additive import divide
 from .errors import SacReconstructionError
 from .replicated import holders_of_share, missing_shares, shares_held_by
@@ -104,9 +105,10 @@ def fault_tolerant_sac(
 
     # Phase 1 — share exchange (everyone participates; crashes happen
     # later).  shares[i, j] = par_wt_{i j}: share j of peer i's model.
-    shares = np.empty((n, n) + first.shape, dtype=np.float64)
-    for i, model in enumerate(models):
-        shares[i] = divide_fn(np.asarray(model, dtype=np.float64), n, rng)
+    with _obs.OBS.span("ftsac.share_exchange", n=n, k=k):
+        shares = np.empty((n, n) + first.shape, dtype=np.float64)
+        for i, model in enumerate(models):
+            shares[i] = divide_fn(np.asarray(model, dtype=np.float64), n, rng)
     # Peer j receives a bundle of n-k+1 shares from each of the other
     # n-1 peers: n(n-1)(n-k+1) share-sized payloads in total.
     phase1_msgs = n * (n - 1)
@@ -126,21 +128,32 @@ def fault_tolerant_sac(
     messages = phase1_msgs
     bits = phase1_bits
     recovered: list[int] = []
-    for j in range(n):
-        if j in own:
-            continue
-        if j in crashed:
-            # Ask a surviving replica holder for ps_wt_j.
-            holders = [
-                h for h in holders_of_share(j, n, k) if h not in crashed
-            ]
-            assert holders, "missing_shares() should have caught this"
-            recovered.append(j)
-        messages += 1
-        bits += w_bits
+    with _obs.OBS.span("ftsac.reconstruct", n=n, k=k, node=leader):
+        for j in range(n):
+            if j in own:
+                continue
+            if j in crashed:
+                # Ask a surviving replica holder for ps_wt_j.
+                holders = [
+                    h for h in holders_of_share(j, n, k) if h not in crashed
+                ]
+                assert holders, "missing_shares() should have caught this"
+                recovered.append(j)
+                if _obs.OBS.enabled:
+                    _obs.OBS.emit(
+                        "ftsac.recover", node=leader, index=j,
+                        holder=holders[0],
+                    )
+            messages += 1
+            bits += w_bits
 
-    average = subtotals.sum(axis=0)
-    average /= n
+        average = subtotals.sum(axis=0)
+        average /= n
+    if _obs.OBS.enabled:
+        _obs.OBS.emit(
+            "ftsac.complete", node=leader, n=n, k=k,
+            crashed=sorted(crashed), recovered=recovered, bits=bits,
+        )
     return FtSacResult(
         average=average,
         n_peers=n,

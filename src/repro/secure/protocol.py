@@ -32,6 +32,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..obs import runtime as _obs
 from ..simnet import FixedLatency, Network, SimNode, Simulator, TraceRecorder
 from .additive import divide
 from .replicated import holders_of_share, shares_held_by
@@ -124,9 +125,19 @@ class SacProtocolPeer(SimNode):
         self.recovered: set[int] = set()
         self.average: Optional[np.ndarray] = None
         self.finish_time: Optional[float] = None
+        self._round_start: Optional[float] = None
+
+    def _emit(self, name: str, **fields) -> None:
+        _obs.OBS.emit(
+            name, t_ms=self.sim.now, node=self.node_id,
+            group=getattr(self, "group", None), **fields,
+        )
 
     # ------------------------------------------------------------- phase 1
     def start_round(self) -> None:
+        self._round_start = self.sim.now
+        if _obs.OBS.enabled:
+            self._emit("sac.shares_out", n=self.n, k=self.k)
         shares = divide(self.model, self.n, self.rng)
         my_bundle = {}
         for j in range(self.n):
@@ -148,6 +159,8 @@ class SacProtocolPeer(SimNode):
             return
         self._bundles[origin] = shares
         if len(self._bundles) == self.n:
+            if _obs.OBS.enabled:
+                self._emit("sac.bundles_complete")
             self._compute_subtotals()
 
     # ------------------------------------------------------------- phase 2
@@ -167,6 +180,8 @@ class SacProtocolPeer(SimNode):
             # Alg. 4 lines 14-16: only the k-1 peers whose primary
             # subtotal the leader does not hold itself send theirs.
             self._sent_primary = True
+            if _obs.OBS.enabled:
+                self._emit("sac.subtotal_sent", index=self.position)
             msg = Subtotal(self.position, self._subtotals[self.position])
             self.send(self.leader, msg, size_bits=msg.size_bits(), kind="sac.subtotal")
         if self.position == self.leader_pos:
@@ -187,6 +202,15 @@ class SacProtocolPeer(SimNode):
             ]
             if holders and idx not in self._recovery_pending:
                 self._recovery_pending.add(idx)
+                if _obs.OBS.enabled:
+                    self._emit(
+                        "sac.recover.request", index=idx,
+                        holder=self.members[holders[0]],
+                    )
+                    _obs.OBS.metrics.counter(
+                        "sac_recoveries_total",
+                        "Share-recovery fetches issued by SAC leaders.",
+                    ).inc()
                 req = RecoveryRequest(idx)
                 self.send(
                     self.members[holders[0]], req,
@@ -207,6 +231,22 @@ class SacProtocolPeer(SimNode):
         total /= self.n
         self.average = total
         self.finish_time = self.sim.now
+        if _obs.OBS.enabled:
+            start = self._round_start or 0.0
+            dur = self.sim.now - start
+            # t_ms is the slice *start* so the Chrome exporter renders the
+            # round as a [start, start+dur] bar.
+            _obs.OBS.emit(
+                "sac.complete", t_ms=start, node=self.node_id,
+                dur_ms=dur, group=getattr(self, "group", None),
+                n=self.n, k=self.k, recovered=sorted(self.recovered),
+            )
+            group = getattr(self, "group", None)
+            _obs.OBS.metrics.histogram(
+                "sac_round_ms",
+                "Virtual-time duration of SAC rounds, share-out to average.",
+                labels=("group",),
+            ).labels(group=str(group)).observe(dur)
         self.on_average(total)
 
     def on_average(self, average: np.ndarray) -> None:
@@ -220,6 +260,8 @@ class SacProtocolPeer(SimNode):
             if msg.index in self._recovery_pending:
                 self.recovered.add(msg.index)
                 self._recovery_pending.discard(msg.index)
+                if _obs.OBS.enabled:
+                    self._emit("sac.recover.fetched", index=msg.index, holder=src)
             self._subtotals[msg.index] = msg.value
             self._maybe_finish()
         elif isinstance(msg, RecoveryRequest):

@@ -13,6 +13,8 @@ from typing import Any, Dict, Optional, Protocol, runtime_checkable
 
 import numpy as np
 
+from ..obs import runtime as _obs
+from ..obs.bus import EventBus
 from .events import Simulator
 from .trace import MessageRecord, TraceRecorder
 
@@ -132,6 +134,11 @@ class Network:
         one model at a time) — the first-order model of a P2P swarm that
         :mod:`repro.core.latency` analyzes.  Off by default: transfers
         to distinct receivers proceed in parallel.
+    bus:
+        Per-network event bus carrying one :class:`MessageRecord` per
+        send on its message plane.  ``trace`` is subscribed to it;
+        additional accountants can subscribe without touching this
+        class.  A fresh private bus is created when not supplied.
     """
 
     def __init__(
@@ -143,6 +150,7 @@ class Network:
         trace: TraceRecorder | None = None,
         bandwidth_bps: float | None = None,
         serialize_uplink: bool = False,
+        bus: EventBus | None = None,
     ) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError("loss_rate must be in [0, 1)")
@@ -154,7 +162,9 @@ class Network:
         self.latency = latency if latency is not None else FixedLatency()
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.loss_rate = loss_rate
+        self.bus = bus if bus is not None else EventBus()
         self.trace = trace if trace is not None else TraceRecorder()
+        self.trace.attach(self.bus)
         self.bandwidth_bps = bandwidth_bps
         self.serialize_uplink = serialize_uplink
         self._uplink_free: Dict[int, float] = {}
@@ -183,6 +193,11 @@ class Network:
     def crash(self, node_id: int) -> None:
         """Crash a node: it stops sending and receiving until recovered."""
         self._crashed.add(node_id)
+        obs = _obs.OBS
+        if obs.enabled:
+            obs.emit("net.crash", t_ms=self.sim.now, node=node_id)
+            obs.metrics.counter(
+                "net_crashes_total", "Crash injections.").inc()
         node = self._nodes.get(node_id)
         if node is not None and hasattr(node, "on_crash"):
             node.on_crash()
@@ -190,6 +205,9 @@ class Network:
     def recover(self, node_id: int) -> None:
         """Bring a crashed node back (it rejoins with its durable state)."""
         self._crashed.discard(node_id)
+        obs = _obs.OBS
+        if obs.enabled:
+            obs.emit("net.recover", t_ms=self.sim.now, node=node_id)
         node = self._nodes.get(node_id)
         if node is not None and hasattr(node, "on_recover"):
             node.on_recover()
@@ -205,8 +223,11 @@ class Network:
 
         Nodes not listed in any group can talk to nobody.
         """
+        obs = _obs.OBS
         if groups is None:
             self._partition = None
+            if obs.enabled:
+                obs.emit("net.partition", t_ms=self.sim.now, healed=True)
             return
         mapping: dict[int, int] = {}
         for gi, group in enumerate(groups):
@@ -215,6 +236,9 @@ class Network:
                     raise ValueError(f"node {node_id} in multiple partition groups")
                 mapping[node_id] = gi
         self._partition = mapping
+        if obs.enabled:
+            obs.emit("net.partition", t_ms=self.sim.now, healed=False,
+                     groups=[list(g) for g in groups])
 
     def link_up(self, src: int, dst: int) -> bool:
         """Whether a message from ``src`` can currently reach ``dst``."""
@@ -246,14 +270,10 @@ class Network:
         if dst not in self._nodes:
             raise KeyError(f"unknown destination node {dst}")
         if not self.link_up(src, dst):
-            self.trace.record(
-                MessageRecord(self.sim.now, src, dst, kind, size_bits, delivered=False)
-            )
+            self._drop(src, dst, kind, size_bits, "link_down")
             return
         if self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
-            self.trace.record(
-                MessageRecord(self.sim.now, src, dst, kind, size_bits, delivered=False)
-            )
+            self._drop(src, dst, kind, size_bits, "loss")
             return
         delay = self.latency.sample(src, dst, self.rng)
         if self.bandwidth_bps is not None and size_bits > 0:
@@ -269,13 +289,49 @@ class Network:
             # The destination may have crashed while the message was in
             # flight; a real TCP stack would RST, we just drop.
             if not self.link_up(src, dst):
+                self._drop(src, dst, kind, size_bits, "in_flight", silent=True)
                 return
-            self.trace.record(
+            self.bus.publish_message(
                 MessageRecord(self.sim.now, src, dst, kind, size_bits, delivered=True)
             )
+            obs = _obs.OBS
+            if obs.enabled:
+                obs.emit("net.deliver", t_ms=self.sim.now, node=src,
+                         dst=dst, kind=kind, bits=size_bits)
+                obs.metrics.counter(
+                    "net_messages_total", "Delivered messages by kind.",
+                    labels=("kind",),
+                ).labels(kind=kind).inc()
+                obs.metrics.counter(
+                    "net_bits_total", "Delivered bits by kind.",
+                    labels=("kind",),
+                ).labels(kind=kind).inc(size_bits)
             self._nodes[dst].deliver(src, msg)
 
         self.sim.schedule(delay, deliver)
+
+    def _drop(self, src: int, dst: int, kind: str, size_bits: float,
+              reason: str, silent: bool = False) -> None:
+        """Account (and, under obs, report) a dropped message.
+
+        ``silent`` marks the in-flight case: the seed recorded no
+        undelivered MessageRecord when a destination crashed mid-flight,
+        and keeping that exact behaviour preserves record-level
+        compatibility; the obs event still fires.
+        """
+        if not silent:
+            self.bus.publish_message(
+                MessageRecord(self.sim.now, src, dst, kind, size_bits,
+                              delivered=False)
+            )
+        obs = _obs.OBS
+        if obs.enabled:
+            obs.emit("net.drop", t_ms=self.sim.now, node=src, dst=dst,
+                     kind=kind, bits=size_bits, reason=reason)
+            obs.metrics.counter(
+                "net_dropped_total", "Dropped messages by reason.",
+                labels=("reason",),
+            ).labels(reason=reason).inc()
 
     def broadcast(
         self,

@@ -1,17 +1,25 @@
 """Per-message byte accounting.
 
 The communication-cost figures of the paper (Fig. 13, Fig. 14) count the
-bits crossing the network per aggregation round.  Every message delivered
-by :class:`repro.simnet.network.Network` is reported here, tagged with a
-free-form ``kind`` (e.g. ``"sac.share"``, ``"raft.append_entries"``) so
-experiments can slice costs by protocol and layer.
+bits crossing the network per aggregation round.  Every message sent via
+:class:`repro.simnet.network.Network` is published as a
+:class:`MessageRecord` on the network's event bus
+(:class:`repro.obs.EventBus`), tagged with a free-form ``kind`` (e.g.
+``"sac.share"``, ``"raft.append_entries"``) so experiments can slice
+costs by protocol and layer.  :class:`TraceRecorder` is the standard
+subscriber — byte accounting and the richer obs tracing share one
+pipeline — but its accumulation API is unchanged from when the network
+called it directly.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..obs.bus import EventBus
 
 
 @dataclass(frozen=True)
@@ -50,6 +58,13 @@ class TraceRecorder:
             self._msgs_by_kind[rec.kind] += 1
             self.total_bits += rec.bits
             self.total_messages += 1
+
+    def attach(self, bus: "EventBus") -> None:
+        """Subscribe to a network's message-record plane."""
+        bus.subscribe_messages(self.record)
+
+    def detach(self, bus: "EventBus") -> None:
+        bus.unsubscribe_messages(self.record)
 
     def bits(self, kind: str | None = None, prefix: str | None = None) -> float:
         """Total delivered bits, optionally filtered by exact kind or prefix."""

@@ -1,0 +1,139 @@
+"""Event bus: subscription, ordering, and the message-record plane."""
+
+import numpy as np
+import pytest
+
+from repro.obs import Event, EventBus, EventCollector, Observability
+from repro.obs import runtime as obs_runtime
+from repro.simnet import FixedLatency, Network, Simulator, TraceRecorder
+from repro.simnet.trace import MessageRecord
+
+
+def test_emit_returns_typed_event_with_monotonic_seq():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(seen.append)
+    e1 = bus.emit("a.one", t_ms=1.0, node=3, extra="x")
+    e2 = bus.emit("a.two")
+    assert [e1, e2] == seen
+    assert e1.seq < e2.seq
+    assert e1.category == "a"
+    assert e1.fields == {"extra": "x"}
+    assert e1.to_dict()["extra"] == "x"
+    assert e1.to_dict()["node"] == 3
+
+
+def test_unsubscribe_stops_delivery():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(seen.append)
+    bus.emit("x")
+    bus.unsubscribe(seen.append)
+    bus.emit("y")
+    assert [e.name for e in seen] == ["x"]
+
+
+def test_event_order_matches_simulated_time():
+    """Callbacks firing at increasing sim times emit in seq order."""
+    sim = Simulator()
+    obs = Observability()
+    times = [30.0, 10.0, 20.0]  # scheduled out of order
+    for t in times:
+        sim.schedule(t, lambda t=t: obs.emit("tick", t_ms=sim.now, when=t))
+    sim.run()
+    events = obs.events
+    assert [e.t_ms for e in events] == [10.0, 20.0, 30.0]
+    assert [e.seq for e in events] == sorted(e.seq for e in events)
+
+
+def test_message_plane_feeds_trace_recorder():
+    bus = EventBus()
+    trace = TraceRecorder(keep_records=True)
+    trace.attach(bus)
+    bus.publish_message(MessageRecord(0.0, 0, 1, "sac.share", 128.0))
+    bus.publish_message(
+        MessageRecord(1.0, 1, 0, "sac.share", 64.0, delivered=False)
+    )
+    assert trace.total_bits == 128.0
+    assert trace.total_messages == 1
+    assert len(trace.records) == 2
+    trace.detach(bus)
+    bus.publish_message(MessageRecord(2.0, 0, 1, "sac.share", 32.0))
+    assert trace.total_bits == 128.0
+
+
+def test_network_byte_accounting_flows_through_bus():
+    """Network -> bus -> TraceRecorder equals the pre-refactor accounting."""
+    sim = Simulator()
+    trace = TraceRecorder()
+    net = Network(sim, latency=FixedLatency(5.0),
+                  rng=np.random.default_rng(0), trace=trace)
+
+    class Sink:
+        def __init__(self, node_id):
+            self.node_id = node_id
+            self.got = []
+
+        def deliver(self, src, msg):
+            self.got.append((src, msg))
+
+    a, b = Sink(0), Sink(1)
+    net.register(a)
+    net.register(b)
+    net.send(0, 1, "hello", size_bits=100.0, kind="test")
+    sim.run()
+    assert b.got == [(0, "hello")]
+    assert trace.total_bits == 100.0
+    assert trace.messages(kind="test") == 1
+
+    # A second accountant can subscribe without touching Network.
+    extra = TraceRecorder()
+    extra.attach(net.bus)
+    net.send(1, 0, "back", size_bits=50.0, kind="test")
+    sim.run()
+    assert trace.total_bits == 150.0
+    assert extra.total_bits == 50.0
+
+
+def test_observe_installs_and_restores_global():
+    before = obs_runtime.get()
+    assert not before.enabled
+    with obs_runtime.observe() as obs:
+        assert obs_runtime.get() is obs
+        assert obs.enabled
+        obs.emit("inside")
+    assert obs_runtime.get() is before
+    assert [e.name for e in obs.events] == ["inside"]
+
+
+def test_disabled_observability_is_inert():
+    obs = Observability(enabled=False, keep_events=False)
+    assert obs.emit("nope") is None
+    span = obs.span("nope")
+    with span:
+        pass
+    assert obs.events == []
+
+
+def test_events_named_prefix_filter():
+    obs = Observability()
+    obs.emit("raft.election.win")
+    obs.emit("raft.vote")
+    obs.emit("net.drop")
+    assert len(obs.events_named("raft.")) == 2
+    assert len(obs.events_named("net.drop")) == 1
+
+
+def test_span_virtual_clock(tmp_path):
+    sim = Simulator()
+    obs = Observability()
+    sim.schedule(40.0, lambda: None)
+    with obs.span("phase.x", clock=lambda: sim.now, tag=1):
+        sim.run()
+    (event,) = obs.events
+    assert event.name == "phase.x"
+    assert event.t_ms == 0.0
+    assert event.dur_ms == pytest.approx(40.0)
+    assert "wall_ms" in event.fields
+    hist = obs.metrics.histogram("span_duration_ms", labels=("span",))
+    assert hist.labels(span="phase.x").count == 1

@@ -1,0 +1,44 @@
+"""Lint: no bare ``print(`` in ``src/repro/`` outside ``__main__.py``.
+
+Status output must flow through :func:`repro.obs.get_logger` so that
+``--log-level`` filters it and an installed observability pipeline
+captures it as events.  The experiment CLI (``__main__.py``) keeps its
+table ``print`` calls — tables *are* its output, not status chatter.
+"""
+
+import ast
+import pathlib
+
+SRC = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+ALLOWED = {SRC / "__main__.py"}
+
+
+def _print_calls(path: pathlib.Path) -> list[int]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    return [
+        node.lineno
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "print"
+    ]
+
+
+def test_no_bare_print_outside_main():
+    assert SRC.is_dir()
+    offenders = {}
+    for path in sorted(SRC.rglob("*.py")):
+        if path in ALLOWED:
+            continue
+        lines = _print_calls(path)
+        if lines:
+            offenders[str(path.relative_to(SRC))] = lines
+    assert not offenders, (
+        f"bare print() calls found (use repro.obs.get_logger): {offenders}"
+    )
+
+
+def test_linter_sees_example_violation(tmp_path):
+    sample = tmp_path / "sample.py"
+    sample.write_text("def f():\n    print('hi')\n")
+    assert _print_calls(sample) == [2]
