@@ -9,6 +9,10 @@ minimum over interleaved repetitions so scheduler noise cancels.
 
 Not part of tier-1 (``testpaths = ["tests"]``): timing assertions belong
 here, where a flaky box doesn't block the suite.
+
+``repro.obs.prof`` is imported below on purpose: the profiler is pure
+post-processing over collected events, so merely having it importable
+must not disturb the disabled path this budget guards.
 """
 
 import time
@@ -16,6 +20,7 @@ import time
 import numpy as np
 from conftest import emit
 
+import repro.obs.prof  # noqa: F401  (must not affect the disabled path)
 from repro.core.topology import Topology
 from repro.core.wire_round import run_two_layer_wire_round
 from repro.obs.bus import EventBus

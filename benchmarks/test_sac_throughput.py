@@ -3,17 +3,25 @@
 Not a paper figure: performance characterization of the substrate (the
 HPC guides' "measure before optimizing").  One SAC round over the
 1.25M-parameter weight vector, functional and fault-tolerant forms.
+
+Correctness (the reconstructed average) is asserted; wall-clock numbers
+are measured with warmup + median-of-repeats and recorded in a
+BENCH-schema artifact (``bench_out/BENCH_sac_throughput.json``) so
+``python -m repro bench --compare`` gates throughput across PRs instead
+of a flaky in-test threshold.
 """
 
 import numpy as np
 import pytest
-from conftest import emit
+from conftest import emit, measure, write_bench
 
 from repro.fl import fedavg
 from repro.nn.zoo import PAPER_CNN_PARAMS
 from repro.secure import fault_tolerant_sac, sac_average
 
 N_PEERS = 5
+#: repeats are modest: each round moves 5 x 1.25M doubles.
+REPEATS = 3
 
 
 @pytest.fixture(scope="module")
@@ -22,26 +30,57 @@ def peer_models():
     return [rng.normal(size=PAPER_CNN_PARAMS) for _ in range(N_PEERS)]
 
 
-def test_sac_round_throughput(benchmark, peer_models):
-    rng = np.random.default_rng(1)
-    result = benchmark(sac_average, peer_models, rng)
+@pytest.fixture(scope="module")
+def bench_rows():
+    rows: list[dict] = []
+    yield rows
+    if rows:
+        emit(f"BENCH artifact: {write_bench('sac_throughput', rows)}")
+
+
+def _row(name: str, params: dict, wall: dict) -> dict:
+    return {
+        "id": name,
+        "seed": 0,
+        "params": params,
+        "sim": {"n_peers": N_PEERS, "model_params": PAPER_CNN_PARAMS},
+        "wall_ms": wall,
+        "phases": [],
+    }
+
+
+def test_sac_round_throughput(peer_models, bench_rows):
+    result, wall = measure(
+        lambda: sac_average(peer_models, np.random.default_rng(1)),
+        warmup=1, repeats=REPEATS,
+    )
     np.testing.assert_allclose(
         result.average, np.mean(peer_models, axis=0), rtol=1e-8
     )
-    emit(f"one-layer SAC round, {N_PEERS} peers x {PAPER_CNN_PARAMS:,} params")
+    emit(f"one-layer SAC round, {N_PEERS} peers x {PAPER_CNN_PARAMS:,} "
+         f"params: median {wall['median']:.1f} ms")
+    bench_rows.append(_row("sac_round", {"k": N_PEERS}, wall))
 
 
-def test_ft_sac_round_throughput(benchmark, peer_models):
-    rng = np.random.default_rng(2)
-    result = benchmark(fault_tolerant_sac, peer_models, 3, rng)
+def test_ft_sac_round_throughput(peer_models, bench_rows):
+    result, wall = measure(
+        lambda: fault_tolerant_sac(peer_models, 3, np.random.default_rng(2)),
+        warmup=1, repeats=REPEATS,
+    )
     np.testing.assert_allclose(
         result.average, np.mean(peer_models, axis=0), rtol=1e-8
     )
-    emit(f"3-out-of-{N_PEERS} SAC round at {PAPER_CNN_PARAMS:,} params")
+    emit(f"3-out-of-{N_PEERS} SAC round at {PAPER_CNN_PARAMS:,} params: "
+         f"median {wall['median']:.1f} ms")
+    bench_rows.append(_row("ft_sac_round", {"k": 3}, wall))
 
 
-def test_fedavg_throughput(benchmark, peer_models):
+def test_fedavg_throughput(peer_models, bench_rows):
     weights = [float(i + 1) for i in range(N_PEERS)]
-    out = benchmark(fedavg, peer_models, weights)
+    out, wall = measure(
+        lambda: fedavg(peer_models, weights), warmup=1, repeats=REPEATS,
+    )
     assert out.shape == (PAPER_CNN_PARAMS,)
-    emit(f"FedAvg over {N_PEERS} x {PAPER_CNN_PARAMS:,}-param models")
+    emit(f"FedAvg over {N_PEERS} x {PAPER_CNN_PARAMS:,}-param models: "
+         f"median {wall['median']:.1f} ms")
+    bench_rows.append(_row("fedavg", {"weighted": True}, wall))

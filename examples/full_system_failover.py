@@ -10,28 +10,31 @@ paper's whole pitch in one script.
 Run:  python examples/full_system_failover.py
 
 Besides the console narrative, the script writes ``BENCH_round.json``
-next to the working directory — one machine-readable record per round
-(wall latency, bits by protocol kind, election count, accuracy) plus a
-totals block, so benchmark harnesses can diff runs without scraping
+next to the working directory — a ``repro.bench/v1`` artifact (the same
+schema as ``python -m repro bench``, see ``docs/observability.md``) with
+one scenario whose ``series`` lists a machine-readable record per round
+(wall latency, bits by protocol kind, election count, accuracy), so
+``python -m repro bench --compare`` can diff runs without scraping
 stdout.
 """
 
-import json
 import time
 
 import numpy as np
 
 from repro.data import synthetic_blobs
 from repro.nn import mlp_classifier
+from repro.obs import bench
 from repro.p2pfl import P2PFLConfig, P2PFLSystem
 
 BENCH_PATH = "BENCH_round.json"
+SEED = 5
 
 
 def main() -> None:
     dataset = synthetic_blobs(
-        n_train=900, n_test=200, n_features=12, rng=np.random.default_rng(5),
-        separation=2.5,
+        n_train=900, n_test=200, n_features=12,
+        rng=np.random.default_rng(SEED), separation=2.5,
     )
 
     def factory(rng: np.random.Generator):
@@ -43,7 +46,7 @@ def main() -> None:
     system = P2PFLSystem(
         factory,
         dataset,
-        P2PFLConfig(n_peers=15, group_size=3, threshold=2, lr=1e-2, seed=5),
+        P2PFLConfig(n_peers=15, group_size=3, threshold=2, lr=1e-2, seed=SEED),
     )
     print(f"Topology: {system.topology.group_sizes} peers per subgroup")
     print(f"Raft leaders: {system.current_leaders()}, "
@@ -103,19 +106,36 @@ def main() -> None:
           f"{sorted(system.crashed_peers())}")
     print(f"FedAvg leader now: peer {system.raft.fed_leader()}")
 
-    summary = {
-        "rounds": rows,
-        "totals": {
+    latencies = [r["latency_ms"] for r in rows]
+    scenario = {
+        "id": "full_system_failover",
+        "seed": SEED,
+        "params": {"n_peers": 15, "group_size": 3, "threshold": 2,
+                   "rounds_per_phase": 4},
+        # Sim-side metrics: deterministic for a fixed seed, exact-gated
+        # by `python -m repro bench --compare`.
+        "sim": {
             "rounds": len(rows),
             "comm_bits": sum(r["comm_bits"] for r in rows),
             "elections": sum(r["elections"] for r in rows),
             "final_accuracy": final_accuracy,
-            "crashed_peers": sorted(system.crashed_peers()),
+            "crashed_peers": len(system.crashed_peers()),
         },
+        # Wall stats over the per-round latencies (no warmup rounds).
+        "wall_ms": {
+            "repeats": len(latencies),
+            "warmup": 0,
+            "min": min(latencies),
+            "median": sorted(latencies)[len(latencies) // 2],
+            "mean": sum(latencies) / len(latencies),
+            "max": max(latencies),
+        },
+        "phases": [],
+        "series": rows,
     }
-    with open(BENCH_PATH, "w", encoding="utf-8") as fh:
-        json.dump(summary, fh, indent=2)
-    print(f"\nPer-round benchmark record: {BENCH_PATH}")
+    artifact = bench.make_artifact([scenario], mode="example", seed=SEED)
+    bench.write_artifact(BENCH_PATH, artifact)
+    print(f"\nPer-round benchmark artifact ({bench.SCHEMA}): {BENCH_PATH}")
 
 
 if __name__ == "__main__":

@@ -9,12 +9,19 @@ optionally dumps the raw series to CSV::
     python -m repro fig13
     python -m repro all   --csv out/
     python -m repro trace --trace-out out/trace.json
+    python -m repro bench --bench-out BENCH_suite.json
+    python -m repro bench --compare OLD.json NEW.json
 
 ``trace`` runs the failover + wire-round observability scenario and
 writes a JSONL event log, a Prometheus metrics dump, and a Chrome
 ``trace_event`` timeline (see ``docs/observability.md``).  The artifact
 flags also work with any other figure: ``--events-out``/``--metrics-out``
 capture the run's events and metrics as a side effect.
+
+``bench`` runs the canonical profiled benchmark suite
+(``repro.obs.bench``) and writes a schema-validated ``BENCH_suite.json``;
+with ``--compare`` it instead diffs two artifacts and exits non-zero on
+any regression — the gate future perf PRs cite for before/after numbers.
 """
 
 from __future__ import annotations
@@ -38,12 +45,13 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=[
             "env", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
             "fig12", "fig13", "fig14", "multilayer", "all", "report",
-            "plan", "trace",
+            "plan", "trace", "bench",
         ],
         help="which table/figure to regenerate ('report' writes everything "
         "to a markdown file; 'plan' runs the deployment planner; 'trace' "
         "runs the observability scenario and writes event/metric/timeline "
-        "artifacts)",
+        "artifacts; 'bench' runs the profiled benchmark suite or, with "
+        "--compare, gates two BENCH artifacts against each other)",
     )
     parser.add_argument("--out", default="report.md",
                         help="output path for 'report'")
@@ -64,7 +72,7 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--csv", metavar="DIR", default=None,
                         help="also write raw series as CSV into DIR")
     parser.add_argument("--seed", type=int, default=0,
-                        help="'trace': scenario RNG seed")
+                        help="'trace'/'bench': scenario RNG seed")
     parser.add_argument("--trace-out", metavar="PATH", default=None,
                         help="write a Chrome trace_event JSON timeline "
                         "(open in https://ui.perfetto.dev)")
@@ -75,6 +83,28 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--log-level", default="info",
                         choices=["debug", "info", "warning", "error"],
                         help="status-line verbosity (default: info)")
+    parser.add_argument("--bench-out", metavar="PATH",
+                        default="BENCH_suite.json",
+                        help="'bench': artifact output path")
+    parser.add_argument("--smoke", action="store_true",
+                        help="'bench': tiny scenario sizes (CI smoke mode)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="'bench': measured wall-clock repeats per "
+                        "scenario (default: 3)")
+    parser.add_argument("--warmup", type=int, default=1,
+                        help="'bench': unmeasured warmup runs per scenario "
+                        "(default: 1)")
+    parser.add_argument("--only", metavar="IDS", default=None,
+                        help="'bench': comma-separated scenario ids to run")
+    parser.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
+                        default=None,
+                        help="'bench': diff two BENCH artifacts and exit "
+                        "non-zero on regression instead of running the suite")
+    parser.add_argument("--wall-tolerance", type=float, default=1.5,
+                        help="'bench --compare': allowed wall-time median "
+                        "ratio NEW/OLD (default: 1.5)")
+    parser.add_argument("--top", type=int, default=12,
+                        help="'bench': rows in the printed top-phases table")
     return parser
 
 
@@ -91,9 +121,48 @@ def _trace_paths(args: argparse.Namespace) -> tuple[str, str, str]:
     return events, metrics, chrome
 
 
+def _run_bench(args: argparse.Namespace) -> int:
+    from .obs import bench
+
+    if args.compare is not None:
+        old = bench.load_artifact(args.compare[0])
+        new = bench.load_artifact(args.compare[1])
+        ok, deltas = bench.compare_artifacts(
+            old, new, wall_tolerance=args.wall_tolerance
+        )
+        print(bench.format_compare_report(
+            ok, deltas, wall_tolerance=args.wall_tolerance
+        ))
+        return 0 if ok else 1
+
+    only = args.only.split(",") if args.only else None
+    artifact = bench.run_suite(
+        smoke=args.smoke, seed=args.seed,
+        repeats=args.repeats, warmup=args.warmup, only=only,
+    )
+    path = bench.write_artifact(args.bench_out, artifact)
+    print(bench.format_suite_summary(artifact))
+    for sc in artifact["scenarios"]:
+        top = sorted(
+            sc["phases"], key=lambda p: p["self_ms"], reverse=True
+        )[: args.top]
+        if top:
+            print(f"\n  top phases — {sc['id']}:")
+            for ph in top:
+                print(f"    {'/'.join(ph['path']):<46}"
+                      f"self {ph['self_ms']:>9.2f} ms  "
+                      f"total {ph['total_ms']:>9.2f} ms  "
+                      f"{ph['bits'] / 1e6:>7.2f} Mb")
+    log.info("artifact -> %s", path)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     set_level(args.log_level)
+
+    if args.figure == "bench":
+        return _run_bench(args)
 
     if args.figure == "trace":
         from .obs.scenario import run_trace_scenario

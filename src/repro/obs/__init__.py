@@ -14,14 +14,28 @@ This package is that instrumentation as a first-class subsystem:
   (renders as a timeline in ``about://tracing`` / Perfetto);
 - :mod:`.runtime` — the process-global on/off switch: instrumented hot
   paths guard on ``runtime.OBS.enabled`` and cost nothing when off;
-- :mod:`.logging` — a leveled logger that doubles as an event source.
+- :mod:`.logging` — a leveled logger that doubles as an event source;
+- :mod:`.prof` — phase-attributed profiler over the span stream: call
+  tree with self/total time, per-phase byte counts, straggler stats;
+- :mod:`.bench` — the canonical benchmark suite, the versioned BENCH
+  artifact schema, and the ``--compare`` regression gate.
 
 ``repro.obs.scenario`` (the ``python -m repro trace`` scenario) is
-imported lazily, not here, because it depends on ``repro.core``.
+imported lazily, not here, because it depends on ``repro.core``
+(:mod:`.bench` also touches ``repro.core``, but only from inside its
+scenario functions, so importing it here is cycle-free).
 
 See ``docs/observability.md`` for the event taxonomy and metric names.
 """
 
+from .bench import (
+    compare_artifacts,
+    load_artifact,
+    run_suite,
+    sim_fingerprint,
+    validate_artifact,
+    write_artifact,
+)
 from .bus import Event, EventBus
 from .export import (
     EventCollector,
@@ -31,10 +45,21 @@ from .export import (
 )
 from .logging import ObsLogger, get_logger, set_level
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .prof import PhaseStats, ProfileReport, StragglerStats, profile_events
 from .runtime import Observability, get, install, observe, uninstall
 from .spans import NullSpan, Span
 
 __all__ = [
+    "compare_artifacts",
+    "load_artifact",
+    "run_suite",
+    "sim_fingerprint",
+    "validate_artifact",
+    "write_artifact",
+    "PhaseStats",
+    "ProfileReport",
+    "StragglerStats",
+    "profile_events",
     "Event",
     "EventBus",
     "EventCollector",

@@ -1,0 +1,595 @@
+"""Canonical benchmark suite, BENCH artifact schema, and regression gate.
+
+This module is the measurement backbone behind the ROADMAP's "fast as
+the hardware allows" goal.  It provides three things:
+
+1. **A canonical suite** of seeded scenarios (:func:`build_suite`):
+   single SAC round, FT-SAC round with ``n-k`` mid-round dropouts, a
+   two-layer round sweeping ``(n, m)``, a subgroup-leader failover, and
+   one NN training epoch.  Each runs under a fresh observability
+   pipeline and the phase profiler (:mod:`repro.obs.prof`).
+2. **A versioned artifact schema** (``repro.bench/v1``): every BENCH
+   JSON the repo emits — the suite's ``BENCH_suite.json``, the example
+   scripts', the benchmark harness's — validates against
+   :func:`validate_artifact` and is written by :func:`write_artifact`.
+3. **A regression gate** (:func:`compare_artifacts`, surfaced as
+   ``python -m repro bench --compare OLD NEW``): sim-side metrics
+   (virtual time, bits, message counts, per-phase profile) are
+   deterministic and compared *exactly*; wall-clock medians get a
+   multiplicative tolerance.  Future perf PRs cite this tool for their
+   before/after numbers.
+
+Determinism contract: everything under a scenario's ``sim`` key and the
+sim-side phase fields is a pure function of the seed — two runs must be
+bit-identical (:func:`sim_fingerprint` extracts exactly that subset;
+``tests/obs/test_bench_schema.py`` asserts it).  Wall-clock numbers
+(``wall_ms`` blocks, ``wall_*`` phase fields) are measurements and are
+excluded from the fingerprint.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+from . import runtime as _runtime
+from .logging import get_logger
+from .prof import profile_events
+
+log = get_logger("bench")
+
+#: schema identifier embedded in (and required of) every BENCH artifact.
+SCHEMA = "repro.bench/v1"
+#: bumped whenever a scenario's workload definition changes meaning.
+SUITE_VERSION = 1
+
+#: sim-side phase fields (exact in comparisons / the fingerprint).
+_PHASE_SIM_KEYS = (
+    "path", "count", "total_ms", "self_ms", "bits", "messages", "dropped",
+    "bits_by_kind", "straggler", "sim_clocked",
+)
+_PHASE_WALL_KEYS = ("wall_total_ms", "wall_self_ms")
+_WALL_STAT_KEYS = ("repeats", "warmup", "min", "median", "mean", "max")
+
+
+class BenchSchemaError(ValueError):
+    """An artifact does not conform to the BENCH schema."""
+
+
+# --------------------------------------------------------------------------
+# scenarios
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Scenario:
+    """One seeded, named workload of the canonical suite."""
+
+    id: str
+    seed: int
+    params: dict
+    run: Callable[[dict, int], dict]
+
+
+def _run_sac_round(params: dict, seed: int) -> dict:
+    from ..secure.protocol import run_sac_protocol
+
+    rng = np.random.default_rng(seed)
+    models = [rng.normal(size=params["model_params"])
+              for _ in range(params["n"])]
+    result = run_sac_protocol(models, k=params["k"], seed=seed)
+    assert result.completed
+    return {
+        "sim_time_ms": result.finish_time_ms,
+        "bits": result.bits_sent,
+        "messages": result.messages_sent,
+        "recovered_shares": len(result.recovered_shares),
+    }
+
+
+def _run_ftsac_dropout(params: dict, seed: int) -> dict:
+    from ..secure.protocol import run_sac_protocol
+    from ..secure.replicated import shares_held_by
+
+    n, k = params["n"], params["k"]
+    # Crash the last n-k subtotal senders mid-flight (t=20ms: after
+    # their share bundles landed, before their subtotals arrive), which
+    # forces the Alg. 4 lines 17-18 replica fetch.  n < 2k guarantees a
+    # surviving replica holder for every crashed primary.
+    assert n < 2 * k, "need n < 2k so every crashed subtotal is recoverable"
+    leader_holds = set(shares_held_by(0, n, k))
+    senders = [p for p in range(1, n) if p not in leader_holds]
+    crash_at = {p: 20.0 for p in senders[-(n - k):]}
+    rng = np.random.default_rng(seed)
+    models = [rng.normal(size=params["model_params"]) for _ in range(n)]
+    result = run_sac_protocol(models, k=k, seed=seed, crash_at=crash_at)
+    assert result.completed
+    assert len(result.recovered_shares) == n - k
+    return {
+        "sim_time_ms": result.finish_time_ms,
+        "bits": result.bits_sent,
+        "messages": result.messages_sent,
+        "dropouts": n - k,
+        "recovered_shares": len(result.recovered_shares),
+    }
+
+
+def _run_two_layer(params: dict, seed: int) -> dict:
+    from ..core.topology import Topology
+    from ..core.wire_round import run_two_layer_wire_round
+
+    topo = Topology.by_group_count(params["n"], params["m"])
+    k = min(params["k"], min(topo.group_sizes))
+    rng = np.random.default_rng(seed)
+    models = [rng.normal(size=params["model_params"])
+              for _ in range(topo.n_peers)]
+    result = run_two_layer_wire_round(topo, models, k=k, seed=seed)
+    assert result.completed
+    return {
+        "sim_time_ms": result.finish_time_ms,
+        "bits": result.bits_sent,
+        "messages": result.messages_sent,
+        "groups": topo.n_groups,
+    }
+
+
+def _run_failover(params: dict, seed: int) -> dict:
+    from ..core.topology import Topology
+    from ..twolayer_raft.system import TwoLayerRaftSystem
+
+    topo = Topology.by_group_size(params["n"], params["group_size"])
+    system = TwoLayerRaftSystem(topo, seed=seed)
+    obs = _runtime.OBS
+    with obs.span("bench.failover", clock=lambda: system.sim.now,
+                  peers=params["n"]):
+        system.stabilize()
+        victim = system.subgroup_leader(1)
+        assert victim is not None
+        system.crash(victim)
+        system.stabilize()
+    assert system.subgroup_leader(1) is not None
+    return {
+        "sim_time_ms": system.sim.now,
+        "bits": system.trace.total_bits,
+        "messages": system.trace.total_messages,
+        "elections": len(obs.events_named("raft.election.win")),
+    }
+
+
+def _run_nn_epoch(params: dict, seed: int) -> dict:
+    from ..data.synthetic import synthetic_blobs
+    from ..fl.peer import FLPeer
+    from ..nn.zoo import mlp_classifier
+
+    rng = np.random.default_rng(seed)
+    dataset = synthetic_blobs(
+        n_train=params["n_train"], n_test=64,
+        n_features=params["n_features"], n_classes=4, rng=rng,
+    )
+    model = mlp_classifier(
+        params["n_features"], rng=rng, hidden=(params["hidden"],), n_classes=4,
+    )
+    peer = FLPeer(0, model, dataset.x_train, dataset.y_train, rng, lr=1e-3)
+    obs = _runtime.OBS
+    with obs.span("bench.nn_epoch", n_params=model.n_params):
+        loss = peer.local_update(epochs=1)
+    return {
+        "train_loss": loss,
+        "n_params": model.n_params,
+        "samples": params["n_train"],
+    }
+
+
+def build_suite(smoke: bool = False, seed: int = 0) -> list[Scenario]:
+    """The canonical scenario list (tiny sizes under ``smoke``)."""
+    if smoke:
+        two_layer = [(6, 2), (9, 3)]
+        sac = {"n": 4, "k": 3, "model_params": 32}
+        ftsac = {"n": 4, "k": 3, "model_params": 32}
+        failover = {"n": 6, "group_size": 3}
+        nn = {"n_train": 128, "n_features": 8, "hidden": 16}
+        params = 32
+    else:
+        two_layer = [(12, 3), (12, 4), (20, 5)]
+        sac = {"n": 8, "k": 5, "model_params": 512}
+        ftsac = {"n": 6, "k": 4, "model_params": 512}
+        failover = {"n": 9, "group_size": 3}
+        nn = {"n_train": 512, "n_features": 16, "hidden": 32}
+        params = 256
+    suite = [
+        Scenario("sac_round", seed, sac, _run_sac_round),
+        Scenario("ftsac_dropout", seed, ftsac, _run_ftsac_dropout),
+    ]
+    for n, m in two_layer:
+        suite.append(Scenario(
+            f"two_layer_n{n}_m{m}", seed,
+            {"n": n, "m": m, "k": 2, "model_params": params},
+            _run_two_layer,
+        ))
+    suite.append(Scenario("failover", seed, failover, _run_failover))
+    suite.append(Scenario("nn_epoch", seed, nn, _run_nn_epoch))
+    return suite
+
+
+# --------------------------------------------------------------------------
+# suite runner
+# --------------------------------------------------------------------------
+
+def _wall_stats(walls: Sequence[float], warmup: int) -> dict:
+    return {
+        "repeats": len(walls),
+        "warmup": warmup,
+        "min": min(walls),
+        "median": statistics.median(walls),
+        "mean": statistics.fmean(walls),
+        "max": max(walls),
+    }
+
+
+def run_scenario(sc: Scenario, repeats: int = 3, warmup: int = 1) -> dict:
+    """Run one scenario ``warmup + repeats`` times; profile the first
+    measured repeat (sim-side results are seed-deterministic, so any
+    repeat would do) and take wall stats over the measured ones."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    walls_ms: list[float] = []
+    sim: Optional[dict] = None
+    phases: Optional[list[dict]] = None
+    for i in range(warmup + repeats):
+        with _runtime.observe() as obs:
+            t0 = time.perf_counter()
+            metrics = sc.run(sc.params, sc.seed)
+            wall_ms = (time.perf_counter() - t0) * 1e3
+        if i < warmup:
+            continue
+        walls_ms.append(wall_ms)
+        if sim is None:
+            sim = metrics
+            phases = [p.to_dict() for p in profile_events(obs.events).phases]
+    assert sim is not None and phases is not None
+    return {
+        "id": sc.id,
+        "seed": sc.seed,
+        "params": dict(sc.params),
+        "sim": sim,
+        "wall_ms": _wall_stats(walls_ms, warmup),
+        "phases": phases,
+    }
+
+
+def run_suite(
+    smoke: bool = False,
+    seed: int = 0,
+    repeats: int = 3,
+    warmup: int = 1,
+    only: Iterable[str] | None = None,
+) -> dict:
+    """Run the canonical suite and return a schema-valid artifact."""
+    wanted = set(only) if only is not None else None
+    scenarios = []
+    for sc in build_suite(smoke=smoke, seed=seed):
+        if wanted is not None and sc.id not in wanted:
+            continue
+        log.info("bench: %s %s", sc.id, sc.params)
+        scenarios.append(run_scenario(sc, repeats=repeats, warmup=warmup))
+    artifact = make_artifact(
+        scenarios, mode="smoke" if smoke else "full", seed=seed,
+    )
+    errors = validate_artifact(artifact)
+    if errors:  # pragma: no cover - the suite emits what it validates
+        raise BenchSchemaError("; ".join(errors))
+    return artifact
+
+
+def make_artifact(scenarios: list[dict], mode: str, seed: int = 0) -> dict:
+    """Assemble the artifact envelope around per-scenario records."""
+    return {
+        "schema": SCHEMA,
+        "suite_version": SUITE_VERSION,
+        "mode": mode,
+        "seed": seed,
+        "created_wall_s": time.time(),
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "scenarios": scenarios,
+    }
+
+
+# --------------------------------------------------------------------------
+# schema
+# --------------------------------------------------------------------------
+
+def _is_num(v: Any) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def validate_artifact(doc: Any) -> list[str]:
+    """All schema violations in ``doc`` (empty list == valid).
+
+    The schema is deliberately open: unknown keys are allowed anywhere
+    (the failover example attaches a per-round ``series``), but every
+    required key must be present with the right shape.
+    """
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["artifact must be a JSON object"]
+    if doc.get("schema") != SCHEMA:
+        errors.append(f"schema must be {SCHEMA!r}, got {doc.get('schema')!r}")
+    if not isinstance(doc.get("suite_version"), int):
+        errors.append("suite_version must be an integer")
+    if not isinstance(doc.get("mode"), str):
+        errors.append("mode must be a string")
+    if not _is_num(doc.get("created_wall_s")):
+        errors.append("created_wall_s must be a number")
+    env = doc.get("environment")
+    if not isinstance(env, dict) or not all(
+        isinstance(v, str) for v in env.values()
+    ):
+        errors.append("environment must be a string-valued object")
+    scenarios = doc.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        errors.append("scenarios must be a non-empty list")
+        return errors
+    seen: set[str] = set()
+    for i, sc in enumerate(scenarios):
+        where = f"scenarios[{i}]"
+        if not isinstance(sc, dict):
+            errors.append(f"{where} must be an object")
+            continue
+        sid = sc.get("id")
+        if not isinstance(sid, str) or not sid:
+            errors.append(f"{where}.id must be a non-empty string")
+        elif sid in seen:
+            errors.append(f"{where}.id {sid!r} duplicated")
+        else:
+            seen.add(sid)
+        if not isinstance(sc.get("seed"), int):
+            errors.append(f"{where}.seed must be an integer")
+        if not isinstance(sc.get("params"), dict):
+            errors.append(f"{where}.params must be an object")
+        sim = sc.get("sim")
+        if not isinstance(sim, dict) or not sim:
+            errors.append(f"{where}.sim must be a non-empty object")
+        elif not all(_is_num(v) for v in sim.values()):
+            errors.append(f"{where}.sim values must all be numbers")
+        wall = sc.get("wall_ms")
+        if not isinstance(wall, dict):
+            errors.append(f"{where}.wall_ms must be an object")
+        else:
+            for key in _WALL_STAT_KEYS:
+                if not _is_num(wall.get(key)):
+                    errors.append(f"{where}.wall_ms.{key} must be a number")
+        phases = sc.get("phases")
+        if not isinstance(phases, list):
+            errors.append(f"{where}.phases must be a list")
+            continue
+        for j, ph in enumerate(phases):
+            pwhere = f"{where}.phases[{j}]"
+            if not isinstance(ph, dict):
+                errors.append(f"{pwhere} must be an object")
+                continue
+            path = ph.get("path")
+            if not (isinstance(path, list) and path
+                    and all(isinstance(s, str) for s in path)):
+                errors.append(f"{pwhere}.path must be a list of names")
+            for key in ("count", "total_ms", "self_ms", "bits", "messages",
+                        "dropped", "wall_total_ms", "wall_self_ms"):
+                if not _is_num(ph.get(key)):
+                    errors.append(f"{pwhere}.{key} must be a number")
+            if not isinstance(ph.get("bits_by_kind"), dict):
+                errors.append(f"{pwhere}.bits_by_kind must be an object")
+            if not (ph.get("straggler") is None
+                    or isinstance(ph.get("straggler"), dict)):
+                errors.append(f"{pwhere}.straggler must be null or an object")
+    return errors
+
+
+def write_artifact(path: str, doc: dict) -> str:
+    """Validate and write ``doc`` as pretty-printed JSON."""
+    errors = validate_artifact(doc)
+    if errors:
+        raise BenchSchemaError("; ".join(errors))
+    parent = os.path.dirname(os.path.abspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_artifact(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    errors = validate_artifact(doc)
+    if errors:
+        raise BenchSchemaError(f"{path}: " + "; ".join(errors))
+    return doc
+
+
+def sim_fingerprint(doc: dict) -> str:
+    """Canonical JSON of the deterministic (sim-side) artifact subset.
+
+    Two same-seed runs of the suite must produce identical fingerprints;
+    wall-clock measurements and the creation timestamp are excluded.
+    """
+    scenarios = []
+    for sc in doc.get("scenarios", []):
+        phases = [
+            {k: ph[k] for k in _PHASE_SIM_KEYS if k in ph}
+            for ph in sc.get("phases", [])
+        ]
+        scenarios.append({
+            "id": sc.get("id"),
+            "seed": sc.get("seed"),
+            "params": sc.get("params"),
+            "sim": sc.get("sim"),
+            "phases": phases,
+        })
+    subset = {
+        "schema": doc.get("schema"),
+        "suite_version": doc.get("suite_version"),
+        "mode": doc.get("mode"),
+        "seed": doc.get("seed"),
+        "scenarios": scenarios,
+    }
+    return json.dumps(subset, sort_keys=True)
+
+
+# --------------------------------------------------------------------------
+# regression gate
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Delta:
+    """One compared metric; ``regression`` drives the exit status."""
+
+    scenario: str
+    metric: str
+    old: Any
+    new: Any
+    regression: bool
+    note: str = ""
+
+
+def _phase_index(sc: dict) -> dict[tuple[str, ...], dict]:
+    return {tuple(ph["path"]): ph for ph in sc.get("phases", [])}
+
+
+def compare_artifacts(
+    old: dict, new: dict, wall_tolerance: float = 1.5
+) -> tuple[bool, list[Delta]]:
+    """Diff two artifacts metric-by-metric.
+
+    Sim-side metrics are deterministic, so *any* difference fails the
+    gate (even an apparent improvement — the baseline must be re-blessed
+    by regenerating it).  Wall medians fail only beyond
+    ``wall_tolerance`` (default: new may be up to 1.5x old).
+    """
+    if wall_tolerance < 1.0:
+        raise ValueError("wall_tolerance must be >= 1.0")
+    deltas: list[Delta] = []
+
+    def add(scenario: str, metric: str, o: Any, n: Any,
+            regression: bool, note: str = "") -> None:
+        deltas.append(Delta(scenario, metric, o, n, regression, note))
+
+    if old.get("suite_version") != new.get("suite_version"):
+        add("<suite>", "suite_version", old.get("suite_version"),
+            new.get("suite_version"), True,
+            "suite redefined; artifacts are not comparable")
+    if old.get("mode") != new.get("mode"):
+        add("<suite>", "mode", old.get("mode"), new.get("mode"), True,
+            "smoke and full artifacts are not comparable")
+
+    old_sc = {sc["id"]: sc for sc in old.get("scenarios", [])}
+    new_sc = {sc["id"]: sc for sc in new.get("scenarios", [])}
+    for sid in old_sc:
+        if sid not in new_sc:
+            add(sid, "<scenario>", "present", "missing", True,
+                "scenario disappeared from the suite")
+    for sid in new_sc:
+        if sid not in old_sc:
+            add(sid, "<scenario>", "missing", "present", False,
+                "new scenario (no baseline)")
+
+    for sid, osc in old_sc.items():
+        nsc = new_sc.get(sid)
+        if nsc is None:
+            continue
+        # --- sim metrics: exact.
+        osim, nsim = osc.get("sim", {}), nsc.get("sim", {})
+        for key in sorted(osim):
+            if key not in nsim:
+                add(sid, f"sim.{key}", osim[key], None, True, "metric removed")
+            elif nsim[key] != osim[key]:
+                worse = (
+                    _is_num(osim[key]) and _is_num(nsim[key])
+                    and nsim[key] > osim[key]
+                )
+                add(sid, f"sim.{key}", osim[key], nsim[key], True,
+                    "sim regression" if worse
+                    else "sim changed (baseline must be re-blessed)")
+        # --- per-phase profile: exact on sim-side fields.
+        ophases, nphases = _phase_index(osc), _phase_index(nsc)
+        for path in sorted(ophases):
+            label = "/".join(path)
+            if path not in nphases:
+                add(sid, f"phase.{label}", "present", "missing", True,
+                    "phase disappeared")
+                continue
+            oph, nph = ophases[path], nphases[path]
+            for key in ("count", "total_ms", "self_ms", "bits",
+                        "messages", "dropped"):
+                if oph.get(key) != nph.get(key):
+                    add(sid, f"phase.{label}.{key}", oph.get(key),
+                        nph.get(key), True, "sim-side phase change")
+        # --- wall time: threshold on the median.
+        omed = osc.get("wall_ms", {}).get("median")
+        nmed = nsc.get("wall_ms", {}).get("median")
+        if _is_num(omed) and _is_num(nmed) and omed > 0:
+            ratio = nmed / omed
+            if ratio > wall_tolerance:
+                add(sid, "wall_ms.median", omed, nmed, True,
+                    f"{ratio:.2f}x slower (tolerance {wall_tolerance:.2f}x)")
+            else:
+                add(sid, "wall_ms.median", omed, nmed, False,
+                    f"{ratio:.2f}x (within {wall_tolerance:.2f}x)")
+
+    ok = not any(d.regression for d in deltas)
+    return ok, deltas
+
+
+def format_compare_report(
+    ok: bool, deltas: list[Delta], wall_tolerance: float = 1.5
+) -> str:
+    """Readable delta report for the CLI."""
+    lines = [f"BENCH compare (wall tolerance {wall_tolerance:.2f}x)"]
+    regressions = [d for d in deltas if d.regression]
+    infos = [d for d in deltas if not d.regression]
+    for d in regressions:
+        lines.append(
+            f"  FAIL {d.scenario:<20} {d.metric:<40} "
+            f"{d.old!r} -> {d.new!r}  {d.note}"
+        )
+    for d in infos:
+        lines.append(
+            f"  ok   {d.scenario:<20} {d.metric:<40} "
+            f"{d.old!r} -> {d.new!r}  {d.note}"
+        )
+    lines.append(
+        f"verdict: {'PASS' if ok else 'FAIL'} "
+        f"({len(regressions)} regression(s), {len(infos)} ok)"
+    )
+    return "\n".join(lines)
+
+
+def format_suite_summary(artifact: dict) -> str:
+    """One-line-per-scenario table for printing after a suite run."""
+    lines = [
+        f"BENCH suite v{artifact['suite_version']} "
+        f"({artifact['mode']}, seed {artifact['seed']})",
+        f"  {'scenario':<20}{'sim ms':>10}{'Mb':>9}{'msgs':>7}"
+        f"{'wall med ms':>13}{'phases':>8}",
+    ]
+    for sc in artifact["scenarios"]:
+        sim = sc["sim"]
+        sim_ms = sim.get("sim_time_ms")
+        bits = sim.get("bits")
+        lines.append(
+            f"  {sc['id']:<20}"
+            + (f"{sim_ms:>10.1f}" if sim_ms is not None else f"{'-':>10}")
+            + (f"{bits / 1e6:>9.2f}" if bits is not None else f"{'-':>9}")
+            + (f"{sim.get('messages'):>7}" if "messages" in sim else f"{'-':>7}")
+            + f"{sc['wall_ms']['median']:>13.1f}"
+            + f"{len(sc['phases']):>8}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,181 @@
+"""The ``--compare`` regression gate: identical artifacts pass, an
+injected 2x wall-time or any sim-metric regression exits non-zero."""
+
+import copy
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.obs import bench
+
+
+def _artifact() -> dict:
+    return {
+        "schema": bench.SCHEMA,
+        "suite_version": bench.SUITE_VERSION,
+        "mode": "full",
+        "seed": 0,
+        "created_wall_s": 1_000.0,
+        "environment": {"python": "3.x", "numpy": "2.x"},
+        "scenarios": [
+            {
+                "id": "sac_round",
+                "seed": 0,
+                "params": {"n": 8, "k": 5},
+                "sim": {"sim_time_ms": 30.0, "bits": 1e6, "messages": 60},
+                "wall_ms": {"repeats": 3, "warmup": 1, "min": 9.0,
+                            "median": 10.0, "mean": 10.5, "max": 12.0},
+                "phases": [
+                    {"path": ["sac.complete"], "count": 1, "total_ms": 30.0,
+                     "self_ms": 30.0, "bits": 1e6, "messages": 60,
+                     "dropped": 0, "wall_total_ms": 5.0, "wall_self_ms": 5.0,
+                     "bits_by_kind": {"sac.share": 1e6},
+                     "straggler": None, "sim_clocked": True},
+                ],
+            },
+            {
+                "id": "failover",
+                "seed": 0,
+                "params": {"n": 9},
+                "sim": {"sim_time_ms": 280.0, "bits": 5e4, "messages": 88},
+                "wall_ms": {"repeats": 3, "warmup": 1, "min": 3.0,
+                            "median": 3.5, "mean": 3.6, "max": 4.0},
+                "phases": [],
+            },
+        ],
+    }
+
+
+def test_identical_artifacts_pass():
+    old, new = _artifact(), _artifact()
+    ok, deltas = bench.compare_artifacts(old, new)
+    assert ok
+    assert not any(d.regression for d in deltas)
+
+
+def test_wall_time_2x_regression_fails():
+    old, new = _artifact(), _artifact()
+    new["scenarios"][0]["wall_ms"]["median"] *= 2.0
+    ok, deltas = bench.compare_artifacts(old, new, wall_tolerance=1.5)
+    assert not ok
+    (bad,) = [d for d in deltas if d.regression]
+    assert bad.scenario == "sac_round"
+    assert bad.metric == "wall_ms.median"
+
+
+def test_wall_time_within_tolerance_passes():
+    old, new = _artifact(), _artifact()
+    new["scenarios"][0]["wall_ms"]["median"] *= 1.4
+    ok, _ = bench.compare_artifacts(old, new, wall_tolerance=1.5)
+    assert ok
+
+
+def test_sim_metric_change_is_exact_gated():
+    # Sim metrics are deterministic, so even a 1-bit difference fails.
+    old, new = _artifact(), _artifact()
+    new["scenarios"][0]["sim"]["bits"] += 1.0
+    ok, deltas = bench.compare_artifacts(old, new)
+    assert not ok
+    assert any(d.metric == "sim.bits" and d.regression for d in deltas)
+
+    # ... and a *decrease* still fails (baseline must be re-blessed).
+    old, new = _artifact(), _artifact()
+    new["scenarios"][1]["sim"]["sim_time_ms"] -= 10.0
+    ok, _ = bench.compare_artifacts(old, new)
+    assert not ok
+
+
+def test_phase_profile_change_fails():
+    old, new = _artifact(), _artifact()
+    new["scenarios"][0]["phases"][0]["self_ms"] = 29.0
+    ok, deltas = bench.compare_artifacts(old, new)
+    assert not ok
+    assert any("phase.sac.complete.self_ms" == d.metric for d in deltas)
+
+
+def test_phase_wall_fields_are_not_gated():
+    old, new = _artifact(), _artifact()
+    new["scenarios"][0]["phases"][0]["wall_total_ms"] = 500.0
+    ok, _ = bench.compare_artifacts(old, new)
+    assert ok
+
+
+def test_missing_scenario_fails_and_new_scenario_passes():
+    old, new = _artifact(), _artifact()
+    del new["scenarios"][1]
+    ok, deltas = bench.compare_artifacts(old, new)
+    assert not ok
+    assert any(d.metric == "<scenario>" and d.regression for d in deltas)
+
+    old, new = _artifact(), _artifact()
+    extra = copy.deepcopy(new["scenarios"][1])
+    extra["id"] = "brand_new"
+    new["scenarios"].append(extra)
+    ok, _ = bench.compare_artifacts(old, new)
+    assert ok
+
+
+def test_mode_and_suite_version_mismatch_fail():
+    old, new = _artifact(), _artifact()
+    new["mode"] = "smoke"
+    ok, _ = bench.compare_artifacts(old, new)
+    assert not ok
+
+    old, new = _artifact(), _artifact()
+    new["suite_version"] = bench.SUITE_VERSION + 1
+    ok, _ = bench.compare_artifacts(old, new)
+    assert not ok
+
+
+def test_wall_tolerance_must_be_sane():
+    with pytest.raises(ValueError):
+        bench.compare_artifacts(_artifact(), _artifact(), wall_tolerance=0.5)
+
+
+def test_compare_report_text_names_regressions():
+    old, new = _artifact(), _artifact()
+    new["scenarios"][0]["wall_ms"]["median"] *= 3.0
+    ok, deltas = bench.compare_artifacts(old, new)
+    text = bench.format_compare_report(ok, deltas)
+    assert "FAIL" in text
+    assert "sac_round" in text
+    assert "verdict: FAIL" in text
+
+    ok, deltas = bench.compare_artifacts(_artifact(), _artifact())
+    assert "verdict: PASS" in bench.format_compare_report(ok, deltas)
+
+
+def test_cli_compare_exit_codes(tmp_path):
+    old_path = tmp_path / "old.json"
+    same_path = tmp_path / "same.json"
+    slow_path = tmp_path / "slow.json"
+    drift_path = tmp_path / "drift.json"
+
+    old = _artifact()
+    slow = _artifact()
+    slow["scenarios"][0]["wall_ms"]["median"] *= 2.0
+    drift = _artifact()
+    drift["scenarios"][0]["sim"]["messages"] += 1
+
+    for path, doc in ((old_path, old), (same_path, _artifact()),
+                      (slow_path, slow), (drift_path, drift)):
+        path.write_text(json.dumps(doc))
+
+    assert main(["bench", "--compare", str(old_path), str(same_path)]) == 0
+    assert main(["bench", "--compare", str(old_path), str(slow_path)]) == 1
+    assert main(["bench", "--compare", str(old_path), str(drift_path)]) == 1
+
+
+def test_load_artifact_rejects_schema_violations(tmp_path):
+    bad = _artifact()
+    del bad["scenarios"][0]["sim"]
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps(bad))
+    with pytest.raises(bench.BenchSchemaError):
+        bench.load_artifact(str(path))
+
+
+def test_write_artifact_validates_first(tmp_path):
+    with pytest.raises(bench.BenchSchemaError):
+        bench.write_artifact(str(tmp_path / "x.json"), {"schema": "nope"})
