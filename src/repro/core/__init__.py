@@ -16,11 +16,16 @@ from .costs import (
     multi_layer_cost_bits,
     multi_layer_mixed_cost_bits,
     one_layer_sac_cost_bits,
+    one_layer_sac_seeded_cost_bits,
     reduction_factor,
+    seeded_exchange_bits,
     two_layer_cost_bits,
     two_layer_cost_from_topology,
     two_layer_ft_cost_bits,
     two_layer_ft_cost_from_topology,
+    two_layer_ft_seeded_cost_bits,
+    two_layer_seeded_cost_bits,
+    two_layer_seeded_cost_from_topology,
 )
 from .latency import (
     ft_sac_latency_ms,
@@ -63,4 +68,9 @@ __all__ = [
     "recommend",
     "run_two_layer_wire_round",
     "WireRoundResult",
+    "one_layer_sac_seeded_cost_bits",
+    "seeded_exchange_bits",
+    "two_layer_seeded_cost_bits",
+    "two_layer_ft_seeded_cost_bits",
+    "two_layer_seeded_cost_from_topology",
 ]

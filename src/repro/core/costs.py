@@ -9,6 +9,8 @@ exactly (7.12 Gb at N=30, m=6; 196.13 Gb baseline at N=50).
 
 from __future__ import annotations
 
+from ..secure.replicated import seeded_exchange_entry_counts
+from ..secure.seedshare import SEED_SHARE_BITS
 from .topology import Topology
 
 DEFAULT_BITS_PER_PARAM = 32
@@ -27,6 +29,26 @@ def one_layer_sac_cost_bits(
     if n_peers < 1:
         raise ValueError("need at least one peer")
     return 2 * n_peers * (n_peers - 1) * _w_bits(w_params, bits_per_param)
+
+
+def one_layer_sac_seeded_cost_bits(
+    n_peers: int,
+    w_params: int,
+    bits_per_param: int = DEFAULT_BITS_PER_PARAM,
+    seed_bits: float = SEED_SHARE_BITS,
+) -> float:
+    """One-layer SAC with seed-compressed shares.
+
+    Phase 1 ships ``N (N-1)`` seeds instead of full vectors (each peer
+    keeps its residual at its own index); phase 2's subtotal broadcast is
+    unchanged: ``N (N-1) seed_bits + N (N-1) |w|`` — roughly half the
+    Sec. III-B baseline :func:`one_layer_sac_cost_bits` for large ``|w|``.
+    """
+    if n_peers < 1:
+        raise ValueError("need at least one peer")
+    w = _w_bits(w_params, bits_per_param)
+    e = n_peers * (n_peers - 1)
+    return e * float(seed_bits) + e * w
 
 
 def two_layer_cost_bits(
@@ -62,6 +84,101 @@ def two_layer_ft_cost_bits(
     return ((n * n - k * n + k) * n_total + k * m - 2) * _w_bits(
         w_params, bits_per_param
     )
+
+
+def seeded_exchange_bits(
+    n: int,
+    k: int,
+    w_params: int,
+    bits_per_param: int = DEFAULT_BITS_PER_PARAM,
+    seed_bits: float = SEED_SHARE_BITS,
+) -> float:
+    """Phase-1 share-exchange bits for one seeded k-out-of-n subgroup.
+
+    ``n [(n-k) |w| + ((n-1)(n-k+1) - (n-k)) seed_bits]`` — each owner
+    ships ``n-k`` residual copies (the other holders of its own index)
+    and seeds for everything else.  At ``k = n`` this is the pure-seed
+    fast path ``n (n-1) seed_bits``: O(d + n) per peer instead of O(d n).
+    """
+    w = _w_bits(w_params, bits_per_param)
+    dense_entries, seed_entries = seeded_exchange_entry_counts(n, k)
+    return n * (dense_entries * w + seed_entries * float(seed_bits))
+
+
+def two_layer_seeded_cost_bits(
+    m: int,
+    n: int,
+    w_params: int,
+    bits_per_param: int = DEFAULT_BITS_PER_PARAM,
+    seed_bits: float = SEED_SHARE_BITS,
+) -> float:
+    """Two-layer n-out-of-n cost with seed-compressed shares (Eq. 4 analogue).
+
+    The share exchange collapses to ``m n (n-1) seed_bits``; every other
+    Eq. 4 term still ships full vectors: subtotals ``m (n-1) |w|``,
+    broadcast ``m (n-1) |w|``, FedAvg ``2 (m-1) |w|`` — total
+    ``m n (n-1) seed_bits + [2 m (n-1) + 2 (m-1)] |w|``.
+    """
+    if m < 1 or n < 1:
+        raise ValueError("m and n must be >= 1")
+    w = _w_bits(w_params, bits_per_param)
+    exchange = m * seeded_exchange_bits(n, n, w_params, bits_per_param, seed_bits)
+    return exchange + (2 * m * (n - 1) + 2 * (m - 1)) * w
+
+
+def two_layer_ft_seeded_cost_bits(
+    n_total: int,
+    m: int,
+    n: int,
+    k: int,
+    w_params: int,
+    bits_per_param: int = DEFAULT_BITS_PER_PARAM,
+    seed_bits: float = SEED_SHARE_BITS,
+) -> float:
+    """Two-layer k-out-of-n cost with seed-compressed shares (Eq. 5 analogue).
+
+    Per subgroup: :func:`seeded_exchange_bits` for the exchange plus the
+    unchanged ``(k-1) |w|`` subtotal collection and ``(n-1) |w|``
+    broadcast; plus ``2 (m-1) |w|`` FedAvg among the leaders.  Derived
+    under ``N = n m`` like Eq. 5 (``n_total`` kept for signature parity).
+    """
+    if not 1 <= k <= n:
+        raise ValueError(f"need 1 <= k <= n, got k={k}, n={n}")
+    if m < 1 or n_total < 1:
+        raise ValueError("m and N must be >= 1")
+    w = _w_bits(w_params, bits_per_param)
+    exchange = m * seeded_exchange_bits(n, k, w_params, bits_per_param, seed_bits)
+    return exchange + (m * (k - 1) + m * (n - 1) + 2 * (m - 1)) * w
+
+
+def two_layer_seeded_cost_from_topology(
+    topology: Topology,
+    k: int | None,
+    w_params: int,
+    bits_per_param: int = DEFAULT_BITS_PER_PARAM,
+    seed_bits: float = SEED_SHARE_BITS,
+) -> float:
+    """Exact seeded two-layer cost for uneven subgroup sizes.
+
+    ``k=None`` selects n-out-of-n per subgroup.  This is the closed form
+    the wire tests pin against
+    :func:`repro.core.wire_round.run_two_layer_wire_round` with
+    ``share_codec="seed"``.
+    """
+    w = _w_bits(w_params, bits_per_param)
+    m = topology.n_groups
+    total = 0.0
+    for s in topology.group_sizes:
+        k_eff = s if k is None else k
+        if k_eff > s:
+            raise ValueError(f"threshold k={k_eff} exceeds subgroup size {s}")
+        total += seeded_exchange_bits(
+            s, k_eff, w_params, bits_per_param, seed_bits
+        )
+        total += (k_eff - 1) * w  # subtotal collection at the leader
+        total += (s - 1) * w  # broadcast of the global model
+    total += 2 * (m - 1) * w  # FedAvg among the leaders
+    return total
 
 
 def fedavg_only_cost_bits(

@@ -162,11 +162,15 @@ def run_two_layer_wire_round(
     serialize_uplink: bool = False,
     subtotal_timeout_ms: float = 100.0,
     round_timeout_ms: float = 60_000.0,
+    share_codec: str = "dense",
 ) -> WireRoundResult:
     """Execute one full two-layer aggregation round as network actors.
 
     The FedAvg leader is the first subgroup's leader.  The round is
     complete when **every** peer has received the global model.
+    ``share_codec="seed"`` compresses the intra-subgroup share exchange
+    to PRG seeds (see :mod:`repro.secure.seedshare`); the FedAvg layer
+    (uploads and broadcasts) always ships full vectors.
     """
     if len(models) != topology.n_peers:
         raise ValueError(f"expected {topology.n_peers} models")
@@ -195,6 +199,7 @@ def run_two_layer_wire_round(
                     np.random.default_rng(rng.integers(2**63)),
                     subtotal_timeout_ms,
                     members=list(group),
+                    share_codec=share_codec,
                     round_ctx=ctx,
                     group=gi,
                 )

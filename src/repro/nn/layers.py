@@ -180,13 +180,14 @@ class Conv2D(Layer):
         n = grad.shape[0]
         f = self.out_channels
         grad2 = grad.reshape(n, f, -1)  # (n, F, L)
-        # dW: sum over batch of grad2 @ cols^T
-        dw = np.einsum("nfl,ncl->fc", grad2, cols)
+        # dW: sum over batch of grad2 @ cols^T, contracted over (n, L) in
+        # one GEMM (tensordot) instead of an unoptimized einsum loop.
+        dw = np.tensordot(grad2, cols, axes=([0, 2], [0, 2]))
         self.W.grad[...] = dw.reshape(self.W.value.shape)
         np.sum(grad2, axis=(0, 2), out=self.b.grad)
-        # dcols = W^T @ grad2 : (n, C*k*k, L)
+        # dcols = W^T @ grad2 : (n, C*k*k, L) via batched GEMM
         w_row = self.W.value.reshape(f, -1)
-        dcols = np.einsum("fc,nfl->ncl", w_row, grad2)
+        dcols = np.matmul(w_row.T, grad2)
         # col2im: scatter-add back into the padded input.
         dx_pad = np.zeros(x_pad_shape)
         np.add.at(dx_pad, (slice(None), kk, ii, jj), dcols)

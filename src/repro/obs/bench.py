@@ -83,7 +83,10 @@ def _run_sac_round(params: dict, seed: int) -> dict:
     rng = np.random.default_rng(seed)
     models = [rng.normal(size=params["model_params"])
               for _ in range(params["n"])]
-    result = run_sac_protocol(models, k=params["k"], seed=seed)
+    result = run_sac_protocol(
+        models, k=params["k"], seed=seed,
+        share_codec=params.get("share_codec", "dense"),
+    )
     assert result.completed
     return {
         "sim_time_ms": result.finish_time_ms,
@@ -108,7 +111,10 @@ def _run_ftsac_dropout(params: dict, seed: int) -> dict:
     crash_at = {p: 20.0 for p in senders[-(n - k):]}
     rng = np.random.default_rng(seed)
     models = [rng.normal(size=params["model_params"]) for _ in range(n)]
-    result = run_sac_protocol(models, k=k, seed=seed, crash_at=crash_at)
+    result = run_sac_protocol(
+        models, k=k, seed=seed, crash_at=crash_at,
+        share_codec=params.get("share_codec", "dense"),
+    )
     assert result.completed
     assert len(result.recovered_shares) == n - k
     return {
@@ -205,6 +211,13 @@ def build_suite(smoke: bool = False, seed: int = 0) -> list[Scenario]:
     suite = [
         Scenario("sac_round", seed, sac, _run_sac_round),
         Scenario("ftsac_dropout", seed, ftsac, _run_ftsac_dropout),
+        # Same workloads under the seed-compressed share codec: the wire
+        # delta against the dense rows above is the headline of the
+        # O(d + n) share-distribution optimisation.
+        Scenario("sac_round_seed", seed,
+                 {**sac, "share_codec": "seed"}, _run_sac_round),
+        Scenario("ftsac_dropout_seed", seed,
+                 {**ftsac, "share_codec": "seed"}, _run_ftsac_dropout),
     ]
     for n, m in two_layer:
         suite.append(Scenario(

@@ -8,12 +8,23 @@ network (:mod:`.protocol`) for byte accounting and mid-round dropout
 injection.
 """
 
-from .additive import divide, divide_zero_sum, reconstruct
+from .additive import (
+    divide,
+    divide_zero_sum,
+    divide_zero_sum_seeded,
+    reconstruct,
+)
 from .errors import SacAbort, SacReconstructionError
-from .fault_tolerant import FtSacResult, fault_tolerant_sac
+from .fault_tolerant import (
+    FtSacResult,
+    expected_ft_sac_bits,
+    expected_ft_sac_seeded_bits,
+    fault_tolerant_sac,
+)
 from .fixed_point import (
     decode_fixed_point,
     divide_ring,
+    divide_ring_seeded,
     encode_fixed_point,
     reconstruct_ring,
     sac_average_fixed_point,
@@ -23,10 +34,18 @@ from .replicated import (
     holders_of_share,
     peers_covering_all_shares,
     recoverable,
+    seeded_exchange_entry_counts,
     share_assignment,
     shares_held_by,
 )
-from .sac import SacResult, sac_average
+from .sac import SHARE_CODECS, SacResult, sac_average
+from .seedshare import (
+    SEED_SHARE_BITS,
+    SeededShares,
+    SeedShare,
+    seeded_ring_shares,
+    seeded_zero_sum_shares,
+)
 from .shamir import (
     reconstruct_secret,
     shamir_cost_bits,
@@ -60,4 +79,15 @@ __all__ = [
     "shamir_cost_bits",
     "run_sac_protocol",
     "ProtocolResult",
+    "SHARE_CODECS",
+    "SEED_SHARE_BITS",
+    "SeedShare",
+    "SeededShares",
+    "seeded_zero_sum_shares",
+    "seeded_ring_shares",
+    "divide_zero_sum_seeded",
+    "divide_ring_seeded",
+    "seeded_exchange_entry_counts",
+    "expected_ft_sac_bits",
+    "expected_ft_sac_seeded_bits",
 ]

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from .seedshare import SeededShares, seeded_zero_sum_shares
+
 _MIN_SUM = 1e-3
 
 
@@ -75,6 +77,27 @@ def divide_zero_sum(
     # Residual share; in-place accumulation avoids an (n, |w|) temporary.
     np.subtract(w, shares[:-1].sum(axis=0), out=shares[-1])
     return shares
+
+
+def divide_zero_sum_seeded(
+    w: np.ndarray,
+    n: int,
+    rng: np.random.Generator,
+    mask_scale: float = 1.0,
+    residual_index: int | None = None,
+) -> SeededShares:
+    """Seed-compressed :func:`divide_zero_sum`: ``n-1`` masks as PRG seeds.
+
+    The mask shares are the same N(0, mask_scale) vectors, but derived
+    from per-share 128-bit seeds so they can travel as ~32-byte payloads
+    and be expanded bit-identically by the recipient; only the residual
+    (at ``residual_index``, default last) is a full vector.  Hiding is
+    computational (PRG) rather than information-theoretic — see
+    :mod:`repro.secure.seedshare`.
+    """
+    return seeded_zero_sum_shares(
+        w, n, rng, residual_index=residual_index, mask_scale=mask_scale
+    )
 
 
 def reconstruct(shares: np.ndarray) -> np.ndarray:

@@ -25,8 +25,14 @@ import numpy as np
 from ..obs import runtime as _obs
 from .additive import divide
 from .errors import SacReconstructionError
-from .replicated import holders_of_share, missing_shares, shares_held_by
-from .sac import DEFAULT_BITS_PER_PARAM
+from .replicated import (
+    holders_of_share,
+    missing_shares,
+    seeded_exchange_entry_counts,
+    shares_held_by,
+)
+from .sac import DEFAULT_BITS_PER_PARAM, _check_codec
+from .seedshare import SEED_SHARE_BITS, seeded_zero_sum_shares
 
 
 @dataclass(frozen=True)
@@ -55,6 +61,7 @@ def fault_tolerant_sac(
     crashed: set[int] | None = None,
     bits_per_param: int = DEFAULT_BITS_PER_PARAM,
     divide_fn: Callable[..., np.ndarray] = divide,
+    share_codec: str = "dense",
 ) -> FtSacResult:
     """Run one k-out-of-n SAC round (paper Alg. 4) at the ``leader``.
 
@@ -72,6 +79,13 @@ def fault_tolerant_sac(
         Peers that crash *after* distributing their shares but before
         sending subtotals — the dropout scenario of Fig. 3 / Alg. 4
         lines 17–18.
+    share_codec:
+        ``"dense"`` (default) ships materialized share bundles;
+        ``"seed"`` ships one PRG seed per replica group (the owner keeps
+        the full residual at its own index, replicated to the other
+        ``n-k`` holders), collapsing the exchange to O(d + n) payloads;
+        ``"seed-dense"`` uses the same seed-derived shares materialized
+        on the wire (bit-identical average, dense accounting).
 
     Raises
     ------
@@ -79,6 +93,7 @@ def fault_tolerant_sac(
         If some subtotal index has no surviving holder (more than
         ``n - k`` adversarially placed crashes).
     """
+    _check_codec(share_codec)
     n = len(models)
     if n < 1:
         raise ValueError("need at least one peer")
@@ -107,12 +122,30 @@ def fault_tolerant_sac(
     # later).  shares[i, j] = par_wt_{i j}: share j of peer i's model.
     with _obs.OBS.span("ftsac.share_exchange", n=n, k=k):
         shares = np.empty((n, n) + first.shape, dtype=np.float64)
-        for i, model in enumerate(models):
-            shares[i] = divide_fn(np.asarray(model, dtype=np.float64), n, rng)
+        if share_codec == "dense":
+            for i, model in enumerate(models):
+                shares[i] = divide_fn(
+                    np.asarray(model, dtype=np.float64), n, rng
+                )
+        else:
+            # Residual at the owner's own index: one seed serves a whole
+            # replica group, so only the n-k residual *copies* stay dense.
+            for i, model in enumerate(models):
+                shares[i] = seeded_zero_sum_shares(
+                    np.asarray(model, dtype=np.float64), n, rng,
+                    residual_index=i,
+                ).materialize()
     # Peer j receives a bundle of n-k+1 shares from each of the other
-    # n-1 peers: n(n-1)(n-k+1) share-sized payloads in total.
+    # n-1 peers: n(n-1)(n-k+1) share-sized payloads in total (dense);
+    # under the seed codec only residual copies travel as full vectors.
     phase1_msgs = n * (n - 1)
-    phase1_bits = n * (n - 1) * (n - k + 1) * w_bits
+    if share_codec == "seed":
+        dense_entries, seed_entries = seeded_exchange_entry_counts(n, k)
+        phase1_bits = n * (
+            dense_entries * w_bits + seed_entries * SEED_SHARE_BITS
+        )
+    else:
+        phase1_bits = n * (n - 1) * (n - k + 1) * w_bits
 
     # Phase 2 — subtotals.  ps[j] = sum_i shares[i, j]; any alive holder
     # of index j can compute it (Alg. 4 lines 11-13).
@@ -174,3 +207,23 @@ def expected_ft_sac_bits(
     """
     w = w_params * bits_per_param
     return (n * (n - 1) * (n - k + 1) + (k - 1)) * float(w)
+
+
+def expected_ft_sac_seeded_bits(
+    n: int,
+    k: int,
+    w_params: int,
+    bits_per_param: int = DEFAULT_BITS_PER_PARAM,
+    seed_bits: float = SEED_SHARE_BITS,
+) -> float:
+    """Closed-form cost of a failure-free seeded k-out-of-n SAC round.
+
+    Share exchange ships ``n (n-k)`` residual copies plus
+    ``n [(n-1)(n-k+1) - (n-k)]`` seeds; subtotal collection is unchanged
+    at ``(k-1) |w|``.  At ``k = n`` the exchange is seeds-only:
+    ``n (n-1) seed_bits + (n-1) |w|``.
+    """
+    w = float(w_params * bits_per_param)
+    dense_entries, seed_entries = seeded_exchange_entry_counts(n, k)
+    exchange = n * (dense_entries * w + seed_entries * float(seed_bits))
+    return exchange + (k - 1) * w

@@ -30,6 +30,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from .seedshare import SeededShares, seeded_ring_shares
+
 _RING_BITS = 64
 _SIGN_BIT = np.uint64(1) << np.uint64(63)
 
@@ -49,7 +51,9 @@ def encode_fixed_point(w: np.ndarray, frac_bits: int = 24) -> np.ndarray:
         raise OverflowError(
             "weights too large for the fixed-point range; lower frac_bits"
         )
-    return scaled.astype(np.int64).astype(np.uint64)
+    # Single int64 cast, then a zero-copy two's-complement reinterpret
+    # (the old .astype(np.int64).astype(np.uint64) materialized twice).
+    return scaled.astype(np.int64).view(np.uint64)
 
 
 def decode_fixed_point(q: np.ndarray, frac_bits: int = 24) -> np.ndarray:
@@ -57,7 +61,7 @@ def decode_fixed_point(q: np.ndarray, frac_bits: int = 24) -> np.ndarray:
     if not 0 < frac_bits < 62:
         raise ValueError("frac_bits must be in (0, 62)")
     q = np.asarray(q, dtype=np.uint64)
-    signed = q.astype(np.int64)  # reinterprets the upper half as negative
+    signed = q.view(np.int64)  # zero-copy: upper half reads as negative
     return signed.astype(np.float64) / float(1 << frac_bits)
 
 
@@ -92,6 +96,22 @@ def divide_ring(
     return shares
 
 
+def divide_ring_seeded(
+    q: np.ndarray,
+    n: int,
+    rng: np.random.Generator,
+    residual_index: int | None = None,
+) -> SeededShares:
+    """Seed-compressed :func:`divide_ring`: ``n-1`` ring masks as PRG seeds.
+
+    Masks are uniform over ``Z_{2^64}`` expanded from per-share seeds;
+    the residual (at ``residual_index``, default last) is computed mod
+    ``2^64``, so ``materialize().sum(axis=0)`` reconstructs ``q``
+    exactly — the ring sum is independent of which masks were drawn.
+    """
+    return seeded_ring_shares(q, n, rng, residual_index=residual_index)
+
+
 def reconstruct_ring(shares: np.ndarray) -> np.ndarray:
     """Sum shares in the ring (mod ``2^64``)."""
     shares = np.asarray(shares, dtype=np.uint64)
@@ -107,12 +127,18 @@ def sac_average_fixed_point(
     models: list[np.ndarray] | tuple[np.ndarray, ...],
     rng: np.random.Generator,
     frac_bits: int = 24,
+    share_codec: str = "dense",
 ) -> np.ndarray:
     """One SAC round over the ring: quantize, share, sum, decode, average.
 
     The result differs from ``np.mean(models, axis=0)`` only by the
     per-peer quantization error (< ``n / 2^(frac_bits+1)`` per element).
+    ``share_codec="seed"`` derives each peer's mask shares from PRG seeds
+    (:func:`divide_ring_seeded`); because the ring sum cancels the masks
+    *exactly*, the decoded average is bit-identical across codecs.
     """
+    if share_codec not in ("dense", "seed"):
+        raise ValueError(f"unknown share codec {share_codec!r}")
     n = len(models)
     if n < 1:
         raise ValueError("need at least one peer")
@@ -121,7 +147,13 @@ def sac_average_fixed_point(
         raise ValueError(f"all models must share a shape, got {shapes}")
     encoded = [encode_fixed_point(m, frac_bits) for m in models]
     # Phase 1: each peer shares its quantized model.
-    shares = np.stack([divide_ring(q, n, rng) for q in encoded])
+    if share_codec == "seed":
+        shares = np.stack([
+            divide_ring_seeded(q, n, rng, residual_index=i).materialize()
+            for i, q in enumerate(encoded)
+        ])
+    else:
+        shares = np.stack([divide_ring(q, n, rng) for q in encoded])
     # Phase 2: subtotal per share index, in the ring.
     subtotals = np.zeros_like(shares[0])
     for i in range(n):

@@ -36,19 +36,24 @@ from ..obs import runtime as _obs
 from ..simnet import FixedLatency, Network, SimNode, Simulator, TraceRecorder
 from .additive import divide
 from .replicated import holders_of_share, shares_held_by
-from .sac import DEFAULT_BITS_PER_PARAM
+from .sac import DEFAULT_BITS_PER_PARAM, _check_codec
+from .seedshare import SeedShare, seeded_zero_sum_shares
 
 
 @dataclass(frozen=True)
 class SharesBundle:
     origin: int
-    shares: dict  # share index -> np.ndarray
+    #: share index -> np.ndarray (materialized) or SeedShare (compressed)
+    shares: dict
 
     def size_bits(self) -> float:
-        return float(
-            sum(np.asarray(v).size for v in self.shares.values())
-            * DEFAULT_BITS_PER_PARAM
-        )
+        total = 0.0
+        for v in self.shares.values():
+            if isinstance(v, SeedShare):
+                total += v.size_bits()
+            else:
+                total += float(np.asarray(v).size * DEFAULT_BITS_PER_PARAM)
+        return total
 
 
 @dataclass(frozen=True)
@@ -104,8 +109,11 @@ class SacProtocolPeer(SimNode):
         rng: np.random.Generator,
         subtotal_timeout_ms: float,
         members: list[int] | None = None,
+        share_codec: str = "dense",
     ) -> None:
         super().__init__(node_id, sim, network)
+        _check_codec(share_codec)
+        self.share_codec = share_codec
         self.n = n
         self.k = k
         self.members = list(members) if members is not None else list(range(n))
@@ -138,13 +146,31 @@ class SacProtocolPeer(SimNode):
         self._round_start = self.sim.now
         if _obs.OBS.enabled:
             self._emit("sac.shares_out", n=self.n, k=self.k)
-        shares = divide(self.model, self.n, self.rng)
+        if self.share_codec == "dense":
+            shares = divide(self.model, self.n, self.rng)
+
+            def entry(idx: int, wire: bool):
+                return shares[idx]
+        else:
+            # Residual at this peer's own index; mask shares travel as
+            # PRG seeds ("seed") or the expanded vectors ("seed-dense").
+            seeded = seeded_zero_sum_shares(
+                self.model, self.n, self.rng, residual_index=self.position
+            )
+
+            def entry(idx: int, wire: bool):
+                if wire and self.share_codec == "seed":
+                    return seeded.share(idx)
+                return seeded.expand(idx)
+
         my_bundle = {}
         for j in range(self.n):
+            wire = j != self.position
             bundle = {
-                idx: shares[idx] for idx in shares_held_by(j, self.n, self.k)
+                idx: entry(idx, wire)
+                for idx in shares_held_by(j, self.n, self.k)
             }
-            if j == self.position:
+            if not wire:
                 my_bundle = bundle
             else:
                 msg = SharesBundle(self.position, bundle)
@@ -169,6 +195,8 @@ class SacProtocolPeer(SimNode):
             total = None
             for origin in range(self.n):
                 part = self._bundles[origin][idx]
+                if isinstance(part, SeedShare):
+                    part = part.expand()
                 total = part.copy() if total is None else total + part
             self._subtotals[idx] = total
         leader_holds = set(shares_held_by(self.leader_pos, self.n, self.k))
@@ -283,6 +311,7 @@ def run_sac_protocol(
     round_timeout_ms: float = 10_000.0,
     bandwidth_bps: float | None = None,
     serialize_uplink: bool = False,
+    share_codec: str = "dense",
 ) -> ProtocolResult:
     """Execute one k-out-of-n SAC round on the simulated network.
 
@@ -295,6 +324,11 @@ def run_sac_protocol(
     subtotal_timeout_ms:
         How long the leader waits for missing subtotals before fetching
         them from replica holders.
+    share_codec:
+        ``"dense"`` (default) ships materialized share bundles (Alg. 1
+        splits); ``"seed"`` ships PRG seeds for mask shares and full
+        vectors only for residual replicas; ``"seed-dense"`` materializes
+        the seed-derived shares on the wire (control arm).
     """
     n = len(models)
     if not 1 <= k <= n:
@@ -316,6 +350,7 @@ def run_sac_protocol(
             i, sim, network, n, k, leader, models[i],
             np.random.default_rng(rng.integers(2**63)),
             subtotal_timeout_ms,
+            share_codec=share_codec,
         )
         for i in range(n)
     ]

@@ -76,6 +76,29 @@ def missing_shares(crashed: set[int], n: int, k: int) -> set[int]:
     return set(range(n)) - held
 
 
+def seeded_exchange_entry_counts(n: int, k: int) -> tuple[int, int]:
+    """Per-owner bundle entry counts under the ``"seed"`` share codec.
+
+    With seed-compressed shares an owner keeps the full residual vector
+    at its *own* share index and derives every other index from a PRG
+    seed.  One seed serves a whole replica group (all ``n-k+1`` holders
+    of a share index expand the same seed to the same mask), so across
+    the ``n-1`` outgoing bundles of ``n-k+1`` entries each:
+
+    - ``dense``: copies of the residual sent to the *other* holders of
+      the owner's index — ``n - k`` full vectors;
+    - ``seeds``: everything else — ``(n-1)(n-k+1) - (n-k)`` seed
+      payloads.
+
+    Returns ``(dense, seeds)``.  At ``k = n`` the exchange is pure
+    seeds: ``(0, n-1)`` — the O(d + n) fast path.
+    """
+    _check(n, k)
+    dense = n - k
+    seeds = (n - 1) * (n - k + 1) - dense
+    return dense, seeds
+
+
 def peers_covering_all_shares(n: int, k: int) -> int:
     """Smallest alive-set size guaranteed to cover all shares: exactly ``k``.
 

@@ -21,10 +21,26 @@ import numpy as np
 
 from .additive import divide
 from .errors import SacAbort
+from .seedshare import SEED_SHARE_BITS, seeded_zero_sum_shares
 
 #: Weights travel as 32-bit floats (PyTorch default), matching the
 #: paper's Gb figures.
 DEFAULT_BITS_PER_PARAM = 32
+
+#: Wire representations for phase-1 share distribution.  ``"dense"`` is
+#: the paper-faithful materialized path (full vectors, Alg. 1 splits);
+#: ``"seed"`` ships PRG seeds for the n-1 mask shares (O(d+n) per peer);
+#: ``"seed-dense"`` uses the same seed-derived masks but materializes
+#: them on the wire — the apples-to-apples control proving the codec
+#: changes bytes, not arithmetic.
+SHARE_CODECS = ("dense", "seed", "seed-dense")
+
+
+def _check_codec(share_codec: str) -> None:
+    if share_codec not in SHARE_CODECS:
+        raise ValueError(
+            f"unknown share codec {share_codec!r}; expected one of {SHARE_CODECS}"
+        )
 
 
 @dataclass(frozen=True)
@@ -47,6 +63,7 @@ def sac_average(
     crashed: set[int] | None = None,
     bits_per_param: int = DEFAULT_BITS_PER_PARAM,
     divide_fn: Callable[..., np.ndarray] = divide,
+    share_codec: str = "dense",
 ) -> SacResult:
     """Run one n-out-of-n SAC round over ``models`` (paper Alg. 2).
 
@@ -62,12 +79,21 @@ def sac_average(
         with the survivors, as the paper prescribes).
     bits_per_param:
         Wire width of one weight scalar, for cost accounting.
+    share_codec:
+        Phase-1 wire representation.  ``"dense"`` (default) splits with
+        ``divide_fn`` and ships full vectors; ``"seed"`` derives each
+        peer's n-1 mask shares from PRG seeds and ships ~32-byte seeds
+        (the residual stays with the sender); ``"seed-dense"`` uses the
+        same masks but materialized on the wire.  ``"seed"`` and
+        ``"seed-dense"`` produce bit-identical averages — only the
+        accounted bits differ.
 
     Returns
     -------
     SacResult
         The exact average of ``models`` plus measured communication cost.
     """
+    _check_codec(share_codec)
     n = len(models)
     if n < 1:
         raise ValueError("need at least one peer")
@@ -86,8 +112,21 @@ def sac_average(
     # Phase 1 — every peer i splits wt_i into N shares and sends share j
     # to peer j (keeping share i).  shares[i, j] = par_wt_{i j}.
     shares = np.empty((n, n) + first.shape, dtype=np.float64)
-    for i, model in enumerate(models):
-        shares[i] = divide_fn(np.asarray(model, dtype=np.float64), n, rng)
+    if share_codec == "dense":
+        for i, model in enumerate(models):
+            shares[i] = divide_fn(np.asarray(model, dtype=np.float64), n, rng)
+        phase1_bits = n * (n - 1) * w_bits
+    else:
+        # Seed-derived zero-sum masks; the residual stays at the owner's
+        # index, so an n-out-of-n exchange transmits seeds only.
+        for i, model in enumerate(models):
+            shares[i] = seeded_zero_sum_shares(
+                np.asarray(model, dtype=np.float64), n, rng, residual_index=i
+            ).materialize()
+        per_share = (
+            SEED_SHARE_BITS if share_codec == "seed" else w_bits
+        )
+        phase1_bits = n * (n - 1) * per_share
     phase1_msgs = n * (n - 1)
 
     # Phase 2 — peer j computes ps_wt_j = sum_i par_wt_{i j} and
@@ -103,7 +142,7 @@ def sac_average(
     return SacResult(
         average=average,
         n_peers=n,
-        bits_sent=messages * w_bits,
+        bits_sent=phase1_bits + phase2_msgs * w_bits,
         messages_sent=messages,
     )
 

@@ -171,6 +171,13 @@ class Network:
         self._nodes: Dict[int, Any] = {}
         self._crashed: set[int] = set()
         self._partition: Optional[dict[int, int]] = None
+        # send() is the simulator's hottest path: cache the sorted id
+        # lists (invalidated on register/crash/recover) and keep a flag
+        # for the overwhelmingly common fault-free case so link_up()
+        # is a single attribute check per message.
+        self._node_ids_cache: Optional[list[int]] = None
+        self._alive_ids_cache: Optional[list[int]] = None
+        self._fault_free = True
 
     # ------------------------------------------------------------------ nodes
     def register(self, node: Any) -> None:
@@ -179,12 +186,16 @@ class Network:
         if node_id in self._nodes:
             raise ValueError(f"duplicate node id {node_id}")
         self._nodes[node_id] = node
+        self._node_ids_cache = None
+        self._alive_ids_cache = None
 
     def node(self, node_id: int) -> Any:
         return self._nodes[node_id]
 
     def node_ids(self) -> list[int]:
-        return sorted(self._nodes)
+        if self._node_ids_cache is None:
+            self._node_ids_cache = sorted(self._nodes)
+        return self._node_ids_cache
 
     def __contains__(self, node_id: int) -> bool:
         return node_id in self._nodes
@@ -193,6 +204,8 @@ class Network:
     def crash(self, node_id: int) -> None:
         """Crash a node: it stops sending and receiving until recovered."""
         self._crashed.add(node_id)
+        self._alive_ids_cache = None
+        self._fault_free = False
         obs = _obs.OBS
         if obs.enabled:
             obs.emit("net.crash", t_ms=self.sim.now, node=node_id)
@@ -205,6 +218,8 @@ class Network:
     def recover(self, node_id: int) -> None:
         """Bring a crashed node back (it rejoins with its durable state)."""
         self._crashed.discard(node_id)
+        self._alive_ids_cache = None
+        self._fault_free = not self._crashed and self._partition is None
         obs = _obs.OBS
         if obs.enabled:
             obs.emit("net.recover", t_ms=self.sim.now, node=node_id)
@@ -216,7 +231,11 @@ class Network:
         return node_id in self._crashed
 
     def alive_ids(self) -> list[int]:
-        return [i for i in self.node_ids() if i not in self._crashed]
+        if self._alive_ids_cache is None:
+            self._alive_ids_cache = [
+                i for i in self.node_ids() if i not in self._crashed
+            ]
+        return self._alive_ids_cache
 
     def set_partition(self, groups: list[list[int]] | None) -> None:
         """Partition the network into isolated groups (``None`` heals it).
@@ -226,6 +245,7 @@ class Network:
         obs = _obs.OBS
         if groups is None:
             self._partition = None
+            self._fault_free = not self._crashed
             if obs.enabled:
                 obs.emit("net.partition", t_ms=self.sim.now, healed=True)
             return
@@ -236,12 +256,15 @@ class Network:
                     raise ValueError(f"node {node_id} in multiple partition groups")
                 mapping[node_id] = gi
         self._partition = mapping
+        self._fault_free = False
         if obs.enabled:
             obs.emit("net.partition", t_ms=self.sim.now, healed=False,
                      groups=[list(g) for g in groups])
 
     def link_up(self, src: int, dst: int) -> bool:
         """Whether a message from ``src`` can currently reach ``dst``."""
+        if self._fault_free:
+            return True
         if src in self._crashed or dst in self._crashed:
             return False
         if self._partition is not None:

@@ -85,6 +85,76 @@ class TestCostValidation:
         assert "sac.share" in kinds and "sac.subtotal" in kinds
 
 
+class TestSeededCodecOnWire:
+    def test_seeded_bits_equal_closed_form_plain(self):
+        from repro.core import two_layer_seeded_cost_from_topology
+
+        size = 25
+        topo = Topology.by_group_size(12, 4)
+        models = make_models(12, size=size)
+        result = run_two_layer_wire_round(
+            topo, models, k=None, share_codec="seed"
+        )
+        assert result.completed
+        assert result.bits_sent == two_layer_seeded_cost_from_topology(
+            topo, None, size
+        )
+        np.testing.assert_allclose(
+            result.average, np.mean(models, axis=0), rtol=1e-10
+        )
+
+    def test_seeded_bits_equal_closed_form_ft(self):
+        from repro.core import two_layer_seeded_cost_from_topology
+
+        size = 40
+        topo = Topology.by_group_size(15, 5)
+        models = make_models(15, size=size)
+        result = run_two_layer_wire_round(
+            topo, models, k=3, share_codec="seed"
+        )
+        assert result.bits_sent == two_layer_seeded_cost_from_topology(
+            topo, 3, size
+        )
+
+    def test_seeded_bits_equal_closed_form_uneven_groups(self):
+        from repro.core import two_layer_seeded_cost_from_topology
+
+        size = 16
+        topo = Topology.by_group_size(10, 3)  # 4, 3, 3
+        models = make_models(10, size=size)
+        result = run_two_layer_wire_round(
+            topo, models, k=None, share_codec="seed"
+        )
+        assert result.bits_sent == two_layer_seeded_cost_from_topology(
+            topo, None, size
+        )
+
+    def test_seed_vs_seed_dense_average_bit_identical(self):
+        topo = Topology.by_group_size(9, 3)
+        models = make_models(9)
+        a = run_two_layer_wire_round(
+            topo, models, k=None, seed=5, share_codec="seed"
+        )
+        b = run_two_layer_wire_round(
+            topo, models, k=None, seed=5, share_codec="seed-dense"
+        )
+        np.testing.assert_array_equal(a.average, b.average)
+        assert a.bits_sent < b.bits_sent
+
+    def test_seeded_share_traffic_is_the_only_delta(self):
+        """Only the sac.share kind shrinks; every other traffic class is
+        byte-identical to the dense round."""
+        topo = Topology.by_group_size(12, 4)
+        models = make_models(12, size=30)
+        dense = run_two_layer_wire_round(topo, models, k=None, seed=2)
+        seed = run_two_layer_wire_round(
+            topo, models, k=None, seed=2, share_codec="seed"
+        )
+        for kind in ("sac.subtotal", "fed.upload", "fed.bcast", "sub.bcast"):
+            assert dense.bits_by_kind[kind] == seed.bits_by_kind[kind]
+        assert seed.bits_by_kind["sac.share"] < dense.bits_by_kind["sac.share"]
+
+
 class TestLatencyValidation:
     def test_completion_time_tracks_latency_model(self):
         """With uplink serialization, the wire round's completion time

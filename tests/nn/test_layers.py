@@ -126,6 +126,61 @@ class TestConv2D:
         layer = Conv2D(1, 2, 3, RNG(7), stride=2, padding="valid")
         check_input_grad(layer, RNG(8).normal(size=(2, 1, 7, 7)))
 
+    def test_backward_deterministic_bitwise(self):
+        """Repeated backward passes over the same cache must produce
+        bit-identical gradients (GEMM-based path, no reduction jitter)."""
+        layer = Conv2D(3, 4, 3, RNG(9), padding="same")
+        x = RNG(10).normal(size=(4, 3, 8, 8))
+        grad = RNG(11).normal(size=layer.forward(x).shape)
+        layer.forward(x)
+        dx1 = layer.backward(grad)
+        dw1, db1 = layer.W.grad.copy(), layer.b.grad.copy()
+        layer.forward(x)
+        dx2 = layer.backward(grad)
+        np.testing.assert_array_equal(dx1, dx2)
+        np.testing.assert_array_equal(dw1, layer.W.grad)
+        np.testing.assert_array_equal(db1, layer.b.grad)
+
+    def test_backward_matches_explicit_gemm_bitwise(self):
+        """The tensordot/matmul formulation must be *bitwise* equal to
+        the explicit reshaped-GEMM reference it is algebraically."""
+        layer = Conv2D(2, 5, 3, RNG(12), padding="valid")
+        x = RNG(13).normal(size=(3, 2, 9, 9))
+        out = layer.forward(x)
+        grad = RNG(14).normal(size=out.shape)
+        layer.backward(grad)
+        _, _, cols, _, _, _ = layer._cache
+        n, f = grad.shape[0], layer.out_channels
+        g2 = grad.reshape(n, f, -1)
+        c, ln = cols.shape[1], n * cols.shape[2]
+        # the documented tensordot lowering: one (f, n*l) x (n*l, c) GEMM
+        ref_dw = (
+            g2.transpose(1, 0, 2).reshape(f, ln)
+            @ cols.transpose(0, 2, 1).reshape(ln, c)
+        )
+        np.testing.assert_array_equal(
+            layer.W.grad, ref_dw.reshape(layer.W.value.shape)
+        )
+        w_row = layer.W.value.reshape(f, -1)
+        ref_dcols = np.matmul(w_row.T, g2)
+        assert ref_dcols.shape == (n, c, g2.shape[2])
+
+    def test_backward_close_to_einsum_reference(self):
+        """Numerical agreement with the original einsum formulation (the
+        contraction order differs, so exact equality is not expected)."""
+        layer = Conv2D(3, 4, 3, RNG(15), padding="same")
+        x = RNG(16).normal(size=(2, 3, 7, 7))
+        out = layer.forward(x)
+        grad = RNG(17).normal(size=out.shape)
+        layer.backward(grad)
+        _, _, cols, _, _, _ = layer._cache
+        n, f = grad.shape[0], layer.out_channels
+        g2 = grad.reshape(n, f, -1)
+        ref_dw = np.einsum("nfl,ncl->fc", g2, cols)
+        np.testing.assert_allclose(
+            layer.W.grad.reshape(f, -1), ref_dw, rtol=1e-10, atol=1e-12
+        )
+
     def test_channel_validation(self):
         layer = Conv2D(3, 2, 3, RNG())
         with pytest.raises(ValueError):

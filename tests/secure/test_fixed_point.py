@@ -37,6 +37,36 @@ class TestEncoding:
         with pytest.raises(OverflowError):
             encode_fixed_point(np.array([1e30]), frac_bits=40)
 
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        frac=st.sampled_from([8, 24, 40, 61]),
+        scale=st.sampled_from([1.0, 1e3, 1e6]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_roundtrip_or_overflow(self, seed, frac, scale):
+        """Any representable value survives encode/decode exactly; values
+        past the 2^62 headroom raise instead of wrapping silently."""
+        w = np.random.default_rng(seed).normal(scale=scale, size=16)
+        if np.any(np.abs(np.rint(w * 2.0**frac)) >= 2.0**62):
+            with pytest.raises(OverflowError):
+                encode_fixed_point(w, frac)
+        else:
+            q = encode_fixed_point(w, frac)
+            back = decode_fixed_point(q, frac)
+            np.testing.assert_array_equal(
+                back, np.rint(w * 2.0**frac) / 2.0**frac
+            )
+
+    def test_encode_output_owns_contiguous_memory(self):
+        """The .view-based encode must still return a safely writable
+        uint64 array (no aliasing of the caller's input)."""
+        w = np.array([1.0, -2.0, 3.5])
+        q = encode_fixed_point(w, frac_bits=8)
+        assert q.dtype == np.uint64
+        assert q.flags.owndata or q.base is not w
+        q += np.uint64(1)  # must not touch w
+        np.testing.assert_array_equal(w, [1.0, -2.0, 3.5])
+
     def test_frac_bits_validation(self):
         with pytest.raises(ValueError):
             encode_fixed_point(np.ones(2), frac_bits=0)

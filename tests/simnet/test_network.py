@@ -230,3 +230,58 @@ class TestLatencyModels:
     def test_uniform_latency_rejects_bad_range(self):
         with pytest.raises(ValueError):
             UniformLatency(10.0, 5.0)
+
+
+class TestHotPathCaches:
+    """The send() fast path and the cached id lists must stay coherent
+    with register/crash/recover/partition state changes."""
+
+    def test_fault_free_fast_path(self, net):
+        sim, network, nodes = net
+        assert network._fault_free
+        assert network.link_up(0, 1)
+
+    def test_crash_and_recover_toggle_fast_path(self, net):
+        sim, network, nodes = net
+        network.crash(1)
+        assert not network._fault_free
+        assert not network.link_up(0, 1)
+        assert network.link_up(0, 2)
+        network.recover(1)
+        assert network._fault_free
+        assert network.link_up(0, 1)
+
+    def test_partition_toggles_fast_path(self, net):
+        sim, network, nodes = net
+        network.set_partition([[0, 1], [2, 3]])
+        assert not network._fault_free
+        assert network.link_up(0, 1)
+        assert not network.link_up(0, 2)
+        network.set_partition(None)
+        assert network._fault_free
+        assert network.link_up(0, 2)
+
+    def test_heal_with_crashed_node_keeps_slow_path(self, net):
+        sim, network, nodes = net
+        network.crash(3)
+        network.set_partition([[0, 1], [2, 3]])
+        network.set_partition(None)
+        assert not network._fault_free  # node 3 is still down
+        assert not network.link_up(0, 3)
+        network.recover(3)
+        assert network._fault_free
+
+    def test_alive_ids_cache_invalidation(self, net):
+        sim, network, nodes = net
+        assert network.alive_ids() == [0, 1, 2, 3]
+        network.crash(2)
+        assert network.alive_ids() == [0, 1, 3]
+        network.recover(2)
+        assert network.alive_ids() == [0, 1, 2, 3]
+
+    def test_node_ids_cache_invalidation(self, net):
+        sim, network, nodes = net
+        assert network.node_ids() == [0, 1, 2, 3]
+        Recorder(7, sim, network)
+        assert network.node_ids() == [0, 1, 2, 3, 7]
+        assert network.alive_ids() == [0, 1, 2, 3, 7]
