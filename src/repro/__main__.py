@@ -105,6 +105,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         "ratio NEW/OLD (default: 1.5)")
     parser.add_argument("--top", type=int, default=12,
                         help="'bench': rows in the printed top-phases table")
+    parser.add_argument("--parallel", default=None,
+                        choices=["off", "threads", "process"],
+                        help="'bench': execution mode for the "
+                        "two_layer_parallel scenario (default: threads); "
+                        "sim metrics are mode-independent")
     return parser
 
 
@@ -139,6 +144,7 @@ def _run_bench(args: argparse.Namespace) -> int:
     artifact = bench.run_suite(
         smoke=args.smoke, seed=args.seed,
         repeats=args.repeats, warmup=args.warmup, only=only,
+        parallel=args.parallel,
     )
     path = bench.write_artifact(args.bench_out, artifact)
     print(bench.format_suite_summary(artifact))

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..fl.fedavg import fedavg
 from ..obs import runtime as _obs
+from ..par import SubgroupTask, check_parallel_mode, run_jobs, run_subgroup_round
 from ..secure.protocol import SacProtocolPeer
 from ..secure.sac import DEFAULT_BITS_PER_PARAM
 from ..simnet import FixedLatency, Network, Simulator, TraceRecorder
@@ -152,6 +153,23 @@ class WireRoundResult:
     bits_by_kind: dict
 
 
+def _check_crash_at(
+    topology: Topology, crash_at: dict[int, float] | None
+) -> dict[int, float]:
+    crash_at = dict(crash_at or {})
+    bad = [p for p in crash_at if not 0 <= p < topology.n_peers]
+    if bad:
+        raise ValueError(f"crash_at peer ids out of range: {sorted(bad)}")
+    leaders = set(topology.leaders)
+    crashed_leaders = sorted(p for p in crash_at if p in leaders)
+    if crashed_leaders:
+        raise ValueError(
+            f"crashing subgroup leaders {crashed_leaders} needs Raft "
+            "re-election (see repro.twolayer_raft), not the wire round"
+        )
+    return crash_at
+
+
 def run_two_layer_wire_round(
     topology: Topology,
     models: Sequence[np.ndarray],
@@ -163,17 +181,48 @@ def run_two_layer_wire_round(
     subtotal_timeout_ms: float = 100.0,
     round_timeout_ms: float = 60_000.0,
     share_codec: str = "dense",
+    parallel: str = "off",
+    crash_at: dict[int, float] | None = None,
 ) -> WireRoundResult:
     """Execute one full two-layer aggregation round as network actors.
 
     The FedAvg leader is the first subgroup's leader.  The round is
-    complete when **every** peer has received the global model.
-    ``share_codec="seed"`` compresses the intra-subgroup share exchange
-    to PRG seeds (see :mod:`repro.secure.seedshare`); the FedAvg layer
-    (uploads and broadcasts) always ships full vectors.
+    complete when every peer that does not crash has received the global
+    model.  ``share_codec="seed"`` compresses the intra-subgroup share
+    exchange to PRG seeds (see :mod:`repro.secure.seedshare`); the FedAvg
+    layer (uploads and broadcasts) always ships full vectors.
+
+    ``crash_at`` maps (non-leader) peer ids to crash times in virtual ms
+    — the Alg. 4 dropout scenario on the wire.
+
+    ``parallel`` runs the ``m`` independent subgroup SAC rounds
+    concurrently (``"threads"`` or ``"process"``, see :mod:`repro.par`):
+    per-peer seeds are spawned from the round seed in the same order as
+    the sequential path, each subgroup simulates on its own clock
+    starting at the shared ``t=0`` origin, and the fed layer replays
+    their completions on the parent simulator — the resulting averages,
+    finish times, traffic totals and observability stream are
+    bit-identical to the default sequential execution (event *ordering*
+    on the bus is subgroup-major rather than time-interleaved; every
+    timestamp is identical, so profiles and exports agree).
     """
     if len(models) != topology.n_peers:
         raise ValueError(f"expected {topology.n_peers} models")
+    check_parallel_mode(parallel)
+    crash_at = _check_crash_at(topology, crash_at)
+    if parallel != "off":
+        if serialize_uplink:
+            raise ValueError(
+                "serialize_uplink shares one uplink schedule across all "
+                "subgroups and cannot be decomposed; use parallel='off'"
+            )
+        return _run_parallel_round(
+            topology, models, k=k, delay_ms=delay_ms, seed=seed,
+            bandwidth_bps=bandwidth_bps,
+            subtotal_timeout_ms=subtotal_timeout_ms,
+            round_timeout_ms=round_timeout_ms, share_codec=share_codec,
+            parallel=parallel, crash_at=crash_at,
+        )
     sim = Simulator()
     rng = np.random.default_rng(seed)
     trace = TraceRecorder()
@@ -206,25 +255,29 @@ def run_two_layer_wire_round(
             )
     for peer in peers:
         sim.schedule(0.0, peer.start_round)
+    for pid, t in crash_at.items():
+        sim.schedule(t, lambda pid=pid: network.crash(pid))
 
-    everyone = set(range(topology.n_peers))
+    # Crashed peers never adopt the global model; the round is complete
+    # once every *surviving* peer holds it.
+    everyone = set(range(topology.n_peers)) - set(crash_at)
     with _obs.OBS.span(
         "round.two_layer", clock=lambda: sim.now,
         peers=topology.n_peers, groups=topology.n_groups,
     ):
         sim.run_while(
-            lambda: ctx.done_peers != everyone and sim.now < round_timeout_ms
+            lambda: not everyone.issubset(ctx.done_peers)
+            and sim.now < round_timeout_ms
         )
-    completed = ctx.done_peers == everyone
+    completed = everyone.issubset(ctx.done_peers)
     if _obs.OBS.enabled:
         _obs.OBS.emit(
             "round.complete", t_ms=sim.now, completed=completed,
             bits=trace.total_bits, messages=trace.total_messages,
         )
     fed_leader_peer = next(p for p in peers if p.node_id == ctx.fed_leader)
-    finish = (
-        max(p.global_model_time for p in peers) if completed else None
-    )
+    times = [p.global_model_time for p in peers if p.global_model_time is not None]
+    finish = max(times) if completed and times else None
     return WireRoundResult(
         average=fed_leader_peer.global_model,
         completed=completed,
@@ -232,4 +285,129 @@ def run_two_layer_wire_round(
         bits_sent=trace.total_bits,
         messages_sent=trace.total_messages,
         bits_by_kind=trace.by_kind(),
+    )
+
+
+def _run_parallel_round(
+    topology: Topology,
+    models: Sequence[np.ndarray],
+    k: int | None,
+    delay_ms: float,
+    seed: int,
+    bandwidth_bps: float | None,
+    subtotal_timeout_ms: float,
+    round_timeout_ms: float,
+    share_codec: str,
+    parallel: str,
+    crash_at: dict[int, float],
+) -> WireRoundResult:
+    """Parallel variant: subgroup SACs fan out, the fed layer replays.
+
+    Bit-identity with the sequential path rests on three facts: (1) the
+    per-peer generator seeds are drawn from the round seed in the same
+    group-major order, so every share — and hence every subgroup average
+    and completion time — is identical; (2) each subgroup's private
+    simulator starts at the same ``t=0`` origin it has inside the shared
+    simulator, so all timestamps agree; (3) the parent schedules each
+    leader's ``on_average`` at the worker-computed completion time, so
+    the fed layer sees the exact event sequence of the sequential run.
+    """
+    sim = Simulator()
+    rng = np.random.default_rng(seed)
+    trace = TraceRecorder()
+    network = Network(
+        sim, latency=FixedLatency(delay_ms), rng=rng, trace=trace,
+        bandwidth_bps=bandwidth_bps,
+    )
+    ctx = _RoundContext(
+        fed_leader=topology.leaders[0],
+        leaders=tuple(topology.leaders),
+        n_groups=topology.n_groups,
+        done_peers=set(),
+    )
+    peers: list[_TwoLayerPeer] = []
+    leader_peers: list[_TwoLayerPeer] = []
+    tasks: list[SubgroupTask] = []
+    dummy_rng = np.random.default_rng(0)  # parent peers never draw
+    for gi, group in enumerate(topology.groups):
+        n = len(group)
+        k_eff = min(k, n) if k is not None else n
+        # Same draw order as the sequential path -> same per-peer seeds.
+        peer_seeds = tuple(int(rng.integers(2**63)) for _ in group)
+        for pid in group:
+            peer = _TwoLayerPeer(
+                pid, sim, network, n, k_eff, topology.leaders[gi],
+                models[pid], dummy_rng, subtotal_timeout_ms,
+                members=list(group), share_codec=share_codec,
+                round_ctx=ctx, group=gi,
+            )
+            peers.append(peer)
+            if pid == topology.leaders[gi]:
+                leader_peers.append(peer)
+        tasks.append(
+            SubgroupTask(
+                group=gi,
+                members=tuple(group),
+                leader=topology.leaders[gi],
+                k=k_eff,
+                models=tuple(
+                    np.asarray(models[pid], dtype=np.float64) for pid in group
+                ),
+                peer_seeds=peer_seeds,
+                share_codec=share_codec,
+                delay_ms=delay_ms,
+                bandwidth_bps=bandwidth_bps,
+                subtotal_timeout_ms=subtotal_timeout_ms,
+                round_timeout_ms=round_timeout_ms,
+                crash_at=tuple(
+                    (pid, crash_at[pid]) for pid in group if pid in crash_at
+                ),
+            )
+        )
+
+    everyone = set(range(topology.n_peers)) - set(crash_at)
+    with _obs.OBS.span(
+        "round.two_layer", clock=lambda: sim.now,
+        peers=topology.n_peers, groups=topology.n_groups,
+    ):
+        # Fan the m independent SAC rounds out; worker events/metrics are
+        # merged into this pipeline in subgroup order by run_jobs.
+        outcomes = run_jobs(run_subgroup_round, tasks, parallel)
+        for outcome, leader_peer in zip(outcomes, leader_peers):
+            if outcome.average is not None:
+                sim.schedule(
+                    outcome.finish_time_ms,
+                    lambda p=leader_peer, a=outcome.average: p.on_average(a),
+                )
+        for pid, t in crash_at.items():
+            # The worker already simulated (and reported) this crash; the
+            # parent replays it quietly so fed-layer sends to the dead
+            # peer drop exactly as they do sequentially.
+            sim.schedule(t, lambda pid=pid: network.crash(pid, quiet=True))
+        sim.run_while(
+            lambda: not everyone.issubset(ctx.done_peers)
+            and sim.now < round_timeout_ms
+        )
+    completed = everyone.issubset(ctx.done_peers)
+    bits = trace.total_bits + sum(o.bits_sent for o in outcomes)
+    messages = trace.total_messages + sum(o.messages_sent for o in outcomes)
+    by_kind = trace.by_kind()
+    for outcome in outcomes:
+        for kind, b in outcome.bits_by_kind.items():
+            by_kind[kind] = by_kind.get(kind, 0.0) + b
+    if _obs.OBS.enabled:
+        _obs.OBS.emit(
+            "round.complete", t_ms=sim.now, completed=completed,
+            bits=bits, messages=messages,
+        )
+    fed_leader_peer = next(p for p in peers if p.node_id == ctx.fed_leader)
+    times = [p.global_model_time for p in peers if p.global_model_time is not None]
+    finish = max(times) if completed and times else None
+    return WireRoundResult(
+        average=fed_leader_peer.global_model,
+        completed=completed,
+        finish_time_ms=finish,
+        bits_sent=bits,
+        messages_sent=messages,
+        bits_by_kind=by_kind,
     )

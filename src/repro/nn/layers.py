@@ -125,6 +125,9 @@ class Conv2D(Layer):
         )
         self.b = Param(zeros((out_channels,)), "b")
         self._cache: tuple | None = None
+        # im2col gather indices depend only on the input's (H, W); training
+        # re-feeds the same shape every step, so memoise per shape.
+        self._idx_cache: dict[tuple[int, int], tuple] = {}
 
     def params(self) -> list[Param]:
         return [self.W, self.b]
@@ -139,6 +142,9 @@ class Conv2D(Layer):
     def _col_indices(
         self, h: int, w: int
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+        cached = self._idx_cache.get((h, w))
+        if cached is not None:
+            return cached
         k, s = self.kernel_size, self.stride
         pad = self._pad_amount()
         out_h = _out_dim(h, k, pad, s)
@@ -152,7 +158,9 @@ class Conv2D(Layer):
         ii = i0.reshape(-1, 1) + i1.reshape(1, -1)
         jj = j0.reshape(-1, 1) + j1.reshape(1, -1)
         kk = np.repeat(np.arange(c), k * k).reshape(-1, 1)
-        return kk, ii, jj, out_h, out_w
+        result = (kk, ii, jj, out_h, out_w)
+        self._idx_cache[(h, w)] = result
+        return result
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         if x.ndim != 4 or x.shape[1] != self.in_channels:
@@ -221,13 +229,12 @@ class MaxPool2D(Layer):
                 n, c, out_h, out_w, p * p
             )
         else:
-            # General path (also handles truncation like 13 -> 6 in Fig. 5).
-            windows = np.empty((n, c, out_h, out_w, p * p))
-            for di in range(p):
-                for dj in range(p):
-                    windows[..., di * p + dj] = x[
-                        :, :, di : di + out_h * s : s, dj : dj + out_w * s : s
-                    ]
+            # General path (also handles truncation like 13 -> 6 in Fig. 5):
+            # all (p, p) windows as one strided view, subsampled by stride.
+            # The trailing (p, p) axes flatten to the di * p + dj order the
+            # backward pass decodes.
+            view = np.lib.stride_tricks.sliding_window_view(x, (p, p), axis=(2, 3))
+            windows = view[:, :, ::s, ::s].reshape(n, c, out_h, out_w, p * p)
         argmax = windows.argmax(axis=-1)
         out = np.take_along_axis(windows, argmax[..., None], axis=-1)[..., 0]
         self._cache = (x.shape, argmax)
@@ -240,7 +247,19 @@ class MaxPool2D(Layer):
         p, s = self.pool_size, self.stride
         out_h, out_w = argmax.shape[2], argmax.shape[3]
         dx = np.zeros(x_shape)
-        # Row/col of the max within each window.
+        if s == p:
+            # Non-overlapping windows: each input cell gets at most one
+            # gradient, so a plain scatter into per-window slots suffices.
+            dwin = np.zeros((n, c, out_h, out_w, p * p))
+            np.put_along_axis(dwin, argmax[..., None], grad[..., None], axis=-1)
+            tile = dwin.reshape(n, c, out_h, out_w, p, p).transpose(
+                0, 1, 2, 4, 3, 5
+            )
+            dx[:, :, : out_h * p, : out_w * p] = tile.reshape(
+                n, c, out_h * p, out_w * p
+            )
+            return dx
+        # Overlapping/strided windows need scatter-add.
         di = argmax // p
         dj = argmax % p
         oi = np.arange(out_h)[None, None, :, None]

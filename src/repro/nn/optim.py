@@ -74,23 +74,38 @@ class Adam(Optimizer):
         self.t = 0
         self._m = [np.zeros_like(p.value) for p in self.params]
         self._v = [np.zeros_like(p.value) for p in self.params]
+        # Two reusable scratch buffers per parameter: step() then allocates
+        # nothing, which matters when it runs every mini-batch on every
+        # simulated peer.
+        self._s1 = [np.empty_like(p.value) for p in self.params]
+        self._s2 = [np.empty_like(p.value) for p in self.params]
 
     def step(self) -> None:
         self.t += 1
         b1, b2 = self.beta1, self.beta2
         bias1 = 1.0 - b1**self.t
         bias2 = 1.0 - b2**self.t
-        for p, m, v in zip(self.params, self._m, self._v):
+        for p, m, v, u, u2 in zip(
+            self.params, self._m, self._v, self._s1, self._s2
+        ):
+            # Same elementwise operation sequence as the textbook
+            # m = b1*m + (1-b1)*g; v = b2*v + (1-b2)*g^2 form, so the
+            # trajectory is bit-identical to the allocating version.
             m *= b1
-            m += (1 - b1) * p.grad
+            np.multiply(p.grad, 1.0 - b1, out=u)
+            m += u
             v *= b2
-            v += (1 - b2) * np.square(p.grad)
-            # p -= lr * m_hat / (sqrt(v_hat) + eps), without temporaries
-            # larger than one parameter tensor.
-            update = m / bias1
-            update /= np.sqrt(v / bias2) + self.eps
-            update *= self.lr
-            p.value -= update
+            np.multiply(p.grad, p.grad, out=u)
+            u *= 1.0 - b2
+            v += u
+            # p -= lr * m_hat / (sqrt(v_hat) + eps)
+            np.divide(m, bias1, out=u)
+            np.divide(v, bias2, out=u2)
+            np.sqrt(u2, out=u2)
+            u2 += self.eps
+            u /= u2
+            u *= self.lr
+            p.value -= u
 
     def reset_state(self) -> None:
         """Clear moments (e.g. when the model is overwritten by FedAvg)."""

@@ -126,6 +126,28 @@ def _run_ftsac_dropout(params: dict, seed: int) -> dict:
     }
 
 
+def _run_sac_round_batched(params: dict, seed: int) -> dict:
+    from ..secure.fault_tolerant import fault_tolerant_sac
+
+    # The functional Alg. 4 round: same (n, k, d) workload as sac_round
+    # but straight through the batched share kernels — the wall delta
+    # against sac_round isolates the per-peer protocol/simulator overhead
+    # from the share math itself.
+    rng = np.random.default_rng(seed)
+    models = [rng.normal(size=params["model_params"])
+              for _ in range(params["n"])]
+    obs = _runtime.OBS
+    with obs.span("bench.sac_batched", n=params["n"], k=params["k"]):
+        result = fault_tolerant_sac(
+            models, k=params["k"], rng=np.random.default_rng(seed),
+        )
+    return {
+        "bits": result.bits_sent,
+        "messages": result.messages_sent,
+        "n_peers": result.n_peers,
+    }
+
+
 def _run_two_layer(params: dict, seed: int) -> dict:
     from ..core.topology import Topology
     from ..core.wire_round import run_two_layer_wire_round
@@ -135,7 +157,10 @@ def _run_two_layer(params: dict, seed: int) -> dict:
     rng = np.random.default_rng(seed)
     models = [rng.normal(size=params["model_params"])
               for _ in range(topo.n_peers)]
-    result = run_two_layer_wire_round(topo, models, k=k, seed=seed)
+    result = run_two_layer_wire_round(
+        topo, models, k=k, seed=seed,
+        parallel=params.get("parallel", "off"),
+    )
     assert result.completed
     return {
         "sim_time_ms": result.finish_time_ms,
@@ -192,8 +217,16 @@ def _run_nn_epoch(params: dict, seed: int) -> dict:
     }
 
 
-def build_suite(smoke: bool = False, seed: int = 0) -> list[Scenario]:
-    """The canonical scenario list (tiny sizes under ``smoke``)."""
+def build_suite(
+    smoke: bool = False, seed: int = 0, parallel: str | None = None
+) -> list[Scenario]:
+    """The canonical scenario list (tiny sizes under ``smoke``).
+
+    ``parallel`` overrides the execution mode of the ``two_layer_parallel``
+    scenario (``python -m repro bench --parallel ...``); the sim-side
+    numbers are mode-independent by the :mod:`repro.par` determinism
+    contract, so the override only moves that scenario's wall clock.
+    """
     if smoke:
         two_layer = [(6, 2), (9, 3)]
         sac = {"n": 4, "k": 3, "model_params": 32}
@@ -201,6 +234,7 @@ def build_suite(smoke: bool = False, seed: int = 0) -> list[Scenario]:
         failover = {"n": 6, "group_size": 3}
         nn = {"n_train": 128, "n_features": 8, "hidden": 16}
         params = 32
+        par_nm = (9, 3)
     else:
         two_layer = [(12, 3), (12, 4), (20, 5)]
         sac = {"n": 8, "k": 5, "model_params": 512}
@@ -208,6 +242,7 @@ def build_suite(smoke: bool = False, seed: int = 0) -> list[Scenario]:
         failover = {"n": 9, "group_size": 3}
         nn = {"n_train": 512, "n_features": 16, "hidden": 32}
         params = 256
+        par_nm = (20, 5)
     suite = [
         Scenario("sac_round", seed, sac, _run_sac_round),
         Scenario("ftsac_dropout", seed, ftsac, _run_ftsac_dropout),
@@ -218,6 +253,9 @@ def build_suite(smoke: bool = False, seed: int = 0) -> list[Scenario]:
                  {**sac, "share_codec": "seed"}, _run_sac_round),
         Scenario("ftsac_dropout_seed", seed,
                  {**ftsac, "share_codec": "seed"}, _run_ftsac_dropout),
+        # sac_round's workload through the batched kernels alone (no
+        # simulated wire): the wall delta is the protocol overhead.
+        Scenario("sac_round_batched", seed, dict(sac), _run_sac_round_batched),
     ]
     for n, m in two_layer:
         suite.append(Scenario(
@@ -225,6 +263,14 @@ def build_suite(smoke: bool = False, seed: int = 0) -> list[Scenario]:
             {"n": n, "m": m, "k": 2, "model_params": params},
             _run_two_layer,
         ))
+    # The same round fanned out across subgroups (repro.par); sim metrics
+    # equal the sequential scenario's at the same (n, m) by construction.
+    suite.append(Scenario(
+        "two_layer_parallel", seed,
+        {"n": par_nm[0], "m": par_nm[1], "k": 2, "model_params": params,
+         "parallel": parallel or "threads"},
+        _run_two_layer,
+    ))
     suite.append(Scenario("failover", seed, failover, _run_failover))
     suite.append(Scenario("nn_epoch", seed, nn, _run_nn_epoch))
     return suite
@@ -282,11 +328,12 @@ def run_suite(
     repeats: int = 3,
     warmup: int = 1,
     only: Iterable[str] | None = None,
+    parallel: str | None = None,
 ) -> dict:
     """Run the canonical suite and return a schema-valid artifact."""
     wanted = set(only) if only is not None else None
     scenarios = []
-    for sc in build_suite(smoke=smoke, seed=seed):
+    for sc in build_suite(smoke=smoke, seed=seed, parallel=parallel):
         if wanted is not None and sc.id not in wanted:
             continue
         log.info("bench: %s %s", sc.id, sc.params)

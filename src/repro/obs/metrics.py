@@ -193,6 +193,58 @@ class MetricsRegistry:
     def families(self) -> Iterable[MetricFamily]:
         return self._families.values()
 
+    # ------------------------------------------------------------ merge plane
+    def snapshot(self) -> dict:
+        """A picklable copy of every family's state.
+
+        Histograms keep their raw observation lists (in insertion order)
+        so a merge replays them through ``observe`` — quantiles over the
+        merged registry are computed on the union of raw values, exactly
+        as if the observations had happened locally.
+        """
+        snap: dict = {}
+        for fam in self._families.values():
+            children: dict[tuple[str, ...], object] = {}
+            for key, child in fam.children():
+                if isinstance(child, Histogram):
+                    children[key] = list(child._values)
+                else:
+                    assert isinstance(child, (Counter, Gauge))
+                    children[key] = child.value
+            snap[fam.name] = {
+                "kind": _KIND_OF[fam._child_cls],
+                "help": fam.help,
+                "label_names": fam.label_names,
+                "children": children,
+            }
+        return snap
+
+    def merge_snapshot(self, snap: Mapping) -> None:
+        """Fold a worker registry snapshot into this one.
+
+        Counters add, gauges take the snapshot value (last write wins —
+        call in worker order for determinism), histograms re-observe
+        every raw value in its original order.
+        """
+        makers = {
+            "counter": self.counter,
+            "gauge": self.gauge,
+            "summary": self.histogram,
+        }
+        for name, fam_snap in snap.items():
+            fam = makers[fam_snap["kind"]](
+                name, fam_snap["help"], tuple(fam_snap["label_names"])
+            )
+            for key, payload in fam_snap["children"].items():
+                child = fam.labels(**dict(zip(fam.label_names, key)))
+                if isinstance(child, Histogram):
+                    for v in payload:
+                        child.observe(v)
+                elif isinstance(child, Counter):
+                    child.inc(payload)
+                else:
+                    child.set(payload)
+
     def render_prometheus(self) -> str:
         """Prometheus text exposition format 0.0.4."""
         lines: list[str] = []

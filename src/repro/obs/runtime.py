@@ -28,6 +28,7 @@ for a scenario and write its artifacts afterwards::
 from __future__ import annotations
 
 import contextlib
+import threading as _threading
 from typing import Any, Callable, Iterator, Optional
 
 from .bus import Event, EventBus
@@ -83,6 +84,20 @@ class Observability:
             return NULL_SPAN
         return Span(self, name, clock=clock, node=node, **fields)
 
+    # ------------------------------------------------------------------ merge
+    def absorb_events(self, events: "list[Event]") -> None:
+        """Replay events recorded by a parallel worker onto this pipeline.
+
+        Each event is re-sequenced on this bus (see
+        :meth:`~repro.obs.bus.EventBus.absorb`); callers absorb workers in
+        a deterministic order (subgroup order) so the merged stream is
+        identical to what the sequential path would have produced.
+        """
+        if not self.enabled:
+            return
+        for event in events:
+            self.bus.absorb(event)
+
     # ---------------------------------------------------------------- exports
     @property
     def events(self) -> list[Event]:
@@ -102,16 +117,89 @@ class Observability:
         return write_text(path, self.metrics.render_prometheus())
 
 
+class ThreadLocalObservability:
+    """Routes ``OBS`` traffic to a per-thread pipeline.
+
+    The threads-mode parallel runner (:mod:`repro.par`) executes several
+    subgroup simulations concurrently in one process; the module-global
+    ``OBS`` would interleave their events non-deterministically.  This
+    shim is installed for the duration of the fan-out: worker threads
+    :meth:`push` a private :class:`Observability` (collected and merged
+    by the parent in subgroup order afterwards), while any thread that
+    pushed nothing — the main thread, or library code outside the
+    workers — falls through to the parent pipeline unchanged.
+
+    Only the read/emit surface instrumentation sites actually use is
+    exposed (``enabled``, ``emit``, ``span``, ``metrics``, ``bus``,
+    ``events``); everything delegates to the thread's current pipeline.
+    """
+
+    def __init__(self, parent: Observability) -> None:
+        self.parent = parent
+        self._local = _threading.local()
+
+    # -------------------------------------------------------------- routing
+    def _current(self) -> Observability:
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else self.parent
+
+    def push(self, obs: Observability) -> Observability:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        stack.append(obs)
+        return obs
+
+    def pop(self) -> Observability:
+        return self._local.stack.pop()
+
+    # ----------------------------------------------------------- delegation
+    @property
+    def enabled(self) -> bool:
+        return self._current().enabled
+
+    @property
+    def bus(self) -> EventBus:
+        return self._current().bus
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self._current().metrics
+
+    @property
+    def collector(self) -> Optional[EventCollector]:
+        return self._current().collector
+
+    @property
+    def events(self) -> list[Event]:
+        return self._current().events
+
+    def emit(self, name: str, **kwargs: Any) -> Optional[Event]:
+        return self._current().emit(name, **kwargs)
+
+    def span(self, name: str, **kwargs: Any) -> "Span | NullSpan":
+        return self._current().span(name, **kwargs)
+
+    def absorb_events(self, events: list[Event]) -> None:
+        self._current().absorb_events(events)
+
+
 #: the active pipeline; a disabled instance unless :func:`install` ran.
-OBS: Observability = Observability(enabled=False, keep_events=False)
+#: May also hold a :class:`ThreadLocalObservability` shim while the
+#: parallel runner is fanning out.
+OBS: "Observability | ThreadLocalObservability" = Observability(
+    enabled=False, keep_events=False
+)
 
 
-def get() -> Observability:
+def get() -> "Observability | ThreadLocalObservability":
     """The currently installed pipeline (disabled singleton by default)."""
     return OBS
 
 
-def install(obs: Observability) -> Observability:
+def install(
+    obs: "Observability | ThreadLocalObservability",
+) -> "Observability | ThreadLocalObservability":
     """Make ``obs`` the process-global pipeline."""
     global OBS
     OBS = obs

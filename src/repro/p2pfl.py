@@ -57,6 +57,9 @@ class P2PFLConfig:
     round_interval_ms: float = 1_000.0
     timeout_base_ms: float = 50.0
     seed: int = 0
+    #: run the per-subgroup SAC rounds concurrently ("threads"/"process");
+    #: bit-identical to "off" by the repro.par determinism contract
+    parallel: str = "off"
 
 
 class P2PFLSystem:
@@ -100,7 +103,8 @@ class P2PFLSystem:
         self._eval_model = model_factory(self.rng)
         self.global_weights = get_flat_params(self.peers[0].model).copy()
         self.aggregator = TwoLayerAggregator(
-            self.topology, k=config.threshold, bits_per_param=config.bits_per_param
+            self.topology, k=config.threshold,
+            bits_per_param=config.bits_per_param, parallel=config.parallel,
         )
         self.history = MetricsHistory()
         self._round = 0

@@ -18,15 +18,17 @@ from __future__ import annotations
 
 import numpy as np
 
+from .batched import batched_divide, batched_zero_sum
 from .seedshare import SeededShares, seeded_zero_sum_shares
-
-_MIN_SUM = 1e-3
 
 
 def divide(
     w: np.ndarray, n: int, rng: np.random.Generator, max_resample: int = 100
 ) -> np.ndarray:
     """Split ``w`` into ``n`` additive shares (paper Alg. 1).
+
+    Thin single-owner view over :func:`repro.secure.batched.batched_divide`
+    (same RNG stream, bitwise-identical shares).
 
     Parameters
     ----------
@@ -43,19 +45,8 @@ def divide(
         Array of shape ``(n, *w.shape)`` whose sum over axis 0 equals
         ``w`` exactly up to floating-point rounding.
     """
-    if n < 1:
-        raise ValueError(f"need at least one share, got n={n}")
     w = np.asarray(w)
-    for _ in range(max_resample):
-        rn = rng.random(n)
-        total = rn.sum()
-        if abs(total) >= _MIN_SUM:
-            break
-    else:  # pragma: no cover - U(0,1) sums virtually never stay tiny
-        raise RuntimeError("could not draw a well-conditioned random split")
-    prn = rn / total
-    # Broadcast the fractions over the tensor: shape (n, 1, 1, ...) * w.
-    return prn.reshape((n,) + (1,) * w.ndim) * w
+    return batched_divide(w[np.newaxis], n, rng, max_resample=max_resample)[0]
 
 
 def divide_zero_sum(
@@ -64,19 +55,11 @@ def divide_zero_sum(
     """Split ``w`` into ``n`` shares where ``n-1`` are pure random masks.
 
     The first ``n-1`` shares are N(0, mask_scale) noise; the last is the
-    residual ``w - sum(masks)``.  Sum over axis 0 equals ``w``.
+    residual ``w - sum(masks)``.  Sum over axis 0 equals ``w``.  Thin
+    single-owner view over :func:`repro.secure.batched.batched_zero_sum`.
     """
-    if n < 1:
-        raise ValueError(f"need at least one share, got n={n}")
     w = np.asarray(w, dtype=np.float64)
-    shares = np.empty((n,) + w.shape, dtype=np.float64)
-    if n == 1:
-        shares[0] = w
-        return shares
-    shares[:-1] = rng.normal(0.0, mask_scale, size=(n - 1,) + w.shape)
-    # Residual share; in-place accumulation avoids an (n, |w|) temporary.
-    np.subtract(w, shares[:-1].sum(axis=0), out=shares[-1])
-    return shares
+    return batched_zero_sum(w[np.newaxis], n, rng, mask_scale=mask_scale)[0]
 
 
 def divide_zero_sum_seeded(

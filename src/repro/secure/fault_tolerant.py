@@ -24,6 +24,7 @@ import numpy as np
 
 from ..obs import runtime as _obs
 from .additive import divide
+from .batched import batched_divide, batched_seeded_zero_sum_dense
 from .errors import SacReconstructionError
 from .replicated import (
     holders_of_share,
@@ -32,7 +33,7 @@ from .replicated import (
     shares_held_by,
 )
 from .sac import DEFAULT_BITS_PER_PARAM, _check_codec
-from .seedshare import SEED_SHARE_BITS, seeded_zero_sum_shares
+from .seedshare import SEED_SHARE_BITS
 
 
 @dataclass(frozen=True)
@@ -121,20 +122,24 @@ def fault_tolerant_sac(
     # Phase 1 — share exchange (everyone participates; crashes happen
     # later).  shares[i, j] = par_wt_{i j}: share j of peer i's model.
     with _obs.OBS.span("ftsac.share_exchange", n=n, k=k):
-        shares = np.empty((n, n) + first.shape, dtype=np.float64)
+        # Batched kernels: one RNG pass for the whole subgroup's splits,
+        # bitwise identical to the per-owner loop.
+        stack = np.stack([np.asarray(m, dtype=np.float64) for m in models])
         if share_codec == "dense":
-            for i, model in enumerate(models):
-                shares[i] = divide_fn(
-                    np.asarray(model, dtype=np.float64), n, rng
-                )
+            if divide_fn is divide:
+                shares = batched_divide(stack, n, rng)
+            else:
+                shares = np.empty((n, n) + first.shape, dtype=np.float64)
+                for i, model in enumerate(models):
+                    shares[i] = divide_fn(
+                        np.asarray(model, dtype=np.float64), n, rng
+                    )
         else:
             # Residual at the owner's own index: one seed serves a whole
             # replica group, so only the n-k residual *copies* stay dense.
-            for i, model in enumerate(models):
-                shares[i] = seeded_zero_sum_shares(
-                    np.asarray(model, dtype=np.float64), n, rng,
-                    residual_index=i,
-                ).materialize()
+            shares = batched_seeded_zero_sum_dense(
+                stack, n, rng, residual_indices=range(n)
+            )
     # Peer j receives a bundle of n-k+1 shares from each of the other
     # n-1 peers: n(n-1)(n-k+1) share-sized payloads in total (dense);
     # under the seed codec only residual copies travel as full vectors.

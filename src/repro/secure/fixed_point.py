@@ -30,6 +30,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from .batched import (
+    batched_divide_ring,
+    batched_seeded_ring_dense,
+)
 from .seedshare import SeededShares, seeded_ring_shares
 
 _RING_BITS = 64
@@ -72,28 +76,12 @@ def divide_ring(
 
     Returns shape ``(n, *q.shape)`` of ``uint64`` with
     ``shares.sum(axis=0) mod 2^64 == q``.  The first ``n-1`` shares are
-    i.i.d. uniform over the full ring — independent of the secret.
+    i.i.d. uniform over the full ring — independent of the secret.  Thin
+    single-owner view over
+    :func:`repro.secure.batched.batched_divide_ring` (same RNG stream).
     """
-    if n < 1:
-        raise ValueError("need at least one share")
     q = np.asarray(q, dtype=np.uint64)
-    shares = np.empty((n,) + q.shape, dtype=np.uint64)
-    if n == 1:
-        shares[0] = q
-        return shares
-    # Uniform ring elements via 64 random bits each.
-    shares[:-1] = rng.integers(
-        0, 2**63, size=(n - 1,) + q.shape, dtype=np.uint64
-    ) | (
-        rng.integers(0, 2, size=(n - 1,) + q.shape, dtype=np.uint64)
-        << np.uint64(63)
-    )
-    # Residual share; uint64 arithmetic wraps mod 2^64 as required.
-    residual = q.copy()
-    for row in shares[:-1]:
-        residual -= row
-    shares[-1] = residual
-    return shares
+    return batched_divide_ring(q[np.newaxis], n, rng)[0]
 
 
 def divide_ring_seeded(
@@ -145,21 +133,20 @@ def sac_average_fixed_point(
     shapes = {np.asarray(m).shape for m in models}
     if len(shapes) != 1:
         raise ValueError(f"all models must share a shape, got {shapes}")
-    encoded = [encode_fixed_point(m, frac_bits) for m in models]
-    # Phase 1: each peer shares its quantized model.
+    qstack = encode_fixed_point(
+        np.stack([np.asarray(m, dtype=np.float64) for m in models]), frac_bits
+    )
+    # Phase 1: each peer shares its quantized model — one batched kernel
+    # for the whole subgroup (uint64 sums are exact mod 2^64, so the
+    # vectorized reductions below equal the sequential loops bit for bit).
     if share_codec == "seed":
-        shares = np.stack([
-            divide_ring_seeded(q, n, rng, residual_index=i).materialize()
-            for i, q in enumerate(encoded)
-        ])
+        shares = batched_seeded_ring_dense(
+            qstack, n, rng, residual_indices=range(n)
+        )
     else:
-        shares = np.stack([divide_ring(q, n, rng) for q in encoded])
+        shares = batched_divide_ring(qstack, n, rng)
     # Phase 2: subtotal per share index, in the ring.
-    subtotals = np.zeros_like(shares[0])
-    for i in range(n):
-        subtotals += shares[i]
+    subtotals = shares.sum(axis=0, dtype=np.uint64)
     # Phase 3: ring sum of subtotals == sum of quantized models.
-    total = np.zeros_like(encoded[0])
-    for j in range(n):
-        total += subtotals[j]
+    total = subtotals.sum(axis=0, dtype=np.uint64)
     return decode_fixed_point(total, frac_bits) / n

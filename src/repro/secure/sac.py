@@ -20,8 +20,9 @@ from typing import Callable, Sequence
 import numpy as np
 
 from .additive import divide
+from .batched import batched_divide, batched_seeded_zero_sum_dense
 from .errors import SacAbort
-from .seedshare import SEED_SHARE_BITS, seeded_zero_sum_shares
+from .seedshare import SEED_SHARE_BITS
 
 #: Weights travel as 32-bit floats (PyTorch default), matching the
 #: paper's Gb figures.
@@ -110,19 +111,26 @@ def sac_average(
     w_bits = float(first.size * bits_per_param)
 
     # Phase 1 — every peer i splits wt_i into N shares and sends share j
-    # to peer j (keeping share i).  shares[i, j] = par_wt_{i j}.
-    shares = np.empty((n, n) + first.shape, dtype=np.float64)
+    # to peer j (keeping share i).  shares[i, j] = par_wt_{i j}.  The
+    # whole subgroup's splits run as one batched kernel (single RNG pass,
+    # bitwise identical to the per-owner loop).
+    stack = np.stack([np.asarray(m, dtype=np.float64) for m in models])
     if share_codec == "dense":
-        for i, model in enumerate(models):
-            shares[i] = divide_fn(np.asarray(model, dtype=np.float64), n, rng)
+        if divide_fn is divide:
+            shares = batched_divide(stack, n, rng)
+        else:
+            shares = np.empty((n, n) + first.shape, dtype=np.float64)
+            for i, model in enumerate(models):
+                shares[i] = divide_fn(
+                    np.asarray(model, dtype=np.float64), n, rng
+                )
         phase1_bits = n * (n - 1) * w_bits
     else:
         # Seed-derived zero-sum masks; the residual stays at the owner's
         # index, so an n-out-of-n exchange transmits seeds only.
-        for i, model in enumerate(models):
-            shares[i] = seeded_zero_sum_shares(
-                np.asarray(model, dtype=np.float64), n, rng, residual_index=i
-            ).materialize()
+        shares = batched_seeded_zero_sum_dense(
+            stack, n, rng, residual_indices=range(n)
+        )
         per_share = (
             SEED_SHARE_BITS if share_codec == "seed" else w_bits
         )

@@ -110,6 +110,12 @@ class SeededShares:
     residual_index: int
     residual: np.ndarray
     seeds: dict[int, SeedShare] = field(default_factory=dict)
+    #: Optional pre-expanded ``(n, *shape)`` dense view.  The splitting
+    #: routines already expand every mask once to compute the residual;
+    #: caching that pass here makes ``expand``/``materialize`` free
+    #: instead of re-running the PRG (the values are identical either
+    #: way — expansion is deterministic in the seed).
+    dense: np.ndarray | None = None
 
     def share(self, index: int):
         """Wire payload for share ``index``: a seed, or the residual."""
@@ -121,6 +127,8 @@ class SeededShares:
         """The materialized value of share ``index``."""
         if index == self.residual_index:
             return self.residual
+        if self.dense is not None:
+            return self.dense[index]
         return self.seeds[index].expand()
 
     def materialize(self) -> np.ndarray:
@@ -129,6 +137,8 @@ class SeededShares:
         Summing over axis 0 reconstructs the secret exactly as the
         seed-expanded path does: both paths operate on the same arrays.
         """
+        if self.dense is not None:
+            return self.dense
         out = np.empty((self.n,) + self.residual.shape, self.residual.dtype)
         for j in range(self.n):
             out[j] = self.expand(j)
@@ -160,6 +170,7 @@ def seeded_zero_sum_shares(
     residual_index = _check_split(n, residual_index)
     w = np.asarray(w, dtype=np.float64)
     seeds: dict[int, SeedShare] = {}
+    dense = np.empty((n,) + w.shape, dtype=np.float64)
     acc: np.ndarray | None = None
     for j in range(n):
         if j == residual_index:
@@ -168,9 +179,11 @@ def seeded_zero_sum_shares(
             draw_seed(rng), w.shape, FLOAT_CODEC, mask_scale=mask_scale
         )
         mask = seeds[j].expand()
+        dense[j] = mask
         acc = mask if acc is None else acc + mask
     residual = w.copy() if acc is None else w - acc
-    return SeededShares(n, residual_index, residual, seeds)
+    dense[residual_index] = residual
+    return SeededShares(n, residual_index, residual, seeds, dense=dense)
 
 
 def seeded_ring_shares(
@@ -187,10 +200,13 @@ def seeded_ring_shares(
     residual_index = _check_split(n, residual_index)
     q = np.asarray(q, dtype=np.uint64)
     seeds: dict[int, SeedShare] = {}
+    dense = np.empty((n,) + q.shape, dtype=np.uint64)
     residual = q.copy()
     for j in range(n):
         if j == residual_index:
             continue
         seeds[j] = SeedShare(draw_seed(rng), q.shape, RING_CODEC)
-        residual -= seeds[j].expand()  # uint64 wraps mod 2^64
-    return SeededShares(n, residual_index, residual, seeds)
+        dense[j] = seeds[j].expand()
+        residual -= dense[j]  # uint64 wraps mod 2^64
+    dense[residual_index] = residual
+    return SeededShares(n, residual_index, residual, seeds, dense=dense)

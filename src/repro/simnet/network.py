@@ -201,13 +201,19 @@ class Network:
         return node_id in self._nodes
 
     # ----------------------------------------------------------------- faults
-    def crash(self, node_id: int) -> None:
-        """Crash a node: it stops sending and receiving until recovered."""
+    def crash(self, node_id: int, quiet: bool = False) -> None:
+        """Crash a node: it stops sending and receiving until recovered.
+
+        ``quiet`` suppresses the observability event and counter — used
+        by the parallel round runner, which replays a crash the subgroup
+        worker already simulated (and reported) so the link-down effect
+        reaches the fed-layer messages without double-counting the crash.
+        """
         self._crashed.add(node_id)
         self._alive_ids_cache = None
         self._fault_free = False
         obs = _obs.OBS
-        if obs.enabled:
+        if obs.enabled and not quiet:
             obs.emit("net.crash", t_ms=self.sim.now, node=node_id)
             obs.metrics.counter(
                 "net_crashes_total", "Crash injections.").inc()

@@ -1,0 +1,157 @@
+"""Property tests pinning the batched share kernels to the per-peer path.
+
+The batched core (:mod:`repro.secure.batched`) must be a pure
+vectorisation: fed the same generator stream, its rows are **bitwise**
+the shares the per-peer loops produce.  These hypothesis suites assert
+exactly that, for the float codec (multiplicative and zero-sum masks,
+dense and seeded) and the ring64 fixed-point codec.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.secure.additive import divide, divide_zero_sum, reconstruct
+from repro.secure.batched import (
+    batched_divide,
+    batched_divide_ring,
+    batched_seeded_ring_dense,
+    batched_seeded_zero_sum_dense,
+    batched_zero_sum,
+)
+from repro.secure.fixed_point import divide_ring, reconstruct_ring
+from repro.secure.seedshare import seeded_ring_shares, seeded_zero_sum_shares
+
+RNG = lambda seed=0: np.random.default_rng(seed)
+
+dims = st.integers(min_value=1, max_value=24)
+batch = st.integers(min_value=1, max_value=6)
+peers = st.integers(min_value=1, max_value=7)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def _stack(b, d, seed):
+    return RNG(seed).normal(size=(b, d))
+
+
+# Reference implementations: the pre-batching per-peer loops, consuming
+# one shared generator left to right (exactly the stream the batched
+# kernels must replicate).
+
+def _ref_divide(w, n, rng):
+    rn = rng.random(n)
+    total = rn.sum()
+    for _ in range(100):
+        if abs(total) >= 1e-3:
+            break
+        rn = rng.random(n)
+        total = rn.sum()
+    prn = rn / total
+    return prn.reshape((n,) + (1,) * w.ndim) * w
+
+
+def _ref_zero_sum(w, n, rng, mask_scale=1.0):
+    out = np.empty((n,) + w.shape)
+    if n == 1:
+        out[0] = w
+        return out
+    out[:-1] = rng.normal(0.0, mask_scale, size=(n - 1,) + w.shape)
+    np.subtract(w, out[:-1].sum(axis=0), out=out[-1])
+    return out
+
+
+class TestFloatBatched:
+    @given(b=batch, n=peers, d=dims, seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_batched_divide_matches_per_peer_loop(self, b, n, d, seed):
+        stack = _stack(b, d, seed)
+        got = batched_divide(stack, n, RNG(seed))
+        rng = RNG(seed)
+        for i in range(b):
+            expect = _ref_divide(stack[i], n, rng)
+            assert np.array_equal(got[i], expect)
+
+    @given(b=batch, n=peers, d=dims, seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_batched_zero_sum_matches_per_peer_loop(self, b, n, d, seed):
+        stack = _stack(b, d, seed)
+        got = batched_zero_sum(stack, n, RNG(seed))
+        rng = RNG(seed)
+        for i in range(b):
+            expect = _ref_zero_sum(stack[i], n, rng)
+            assert np.array_equal(got[i], expect)
+
+    @given(n=peers, d=dims, seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_wrapper_divide_is_batched_row(self, n, d, seed):
+        w = RNG(seed).normal(size=d)
+        assert np.array_equal(
+            divide(w, n, RNG(seed)),
+            batched_divide(w[np.newaxis], n, RNG(seed))[0],
+        )
+        assert np.array_equal(
+            divide_zero_sum(w, n, RNG(seed)),
+            batched_zero_sum(w[np.newaxis], n, RNG(seed))[0],
+        )
+
+    @given(n=peers, d=dims, seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_divide_reconstructs(self, n, d, seed):
+        w = RNG(seed).normal(size=d)
+        shares = divide(w, n, RNG(seed))
+        assert np.allclose(reconstruct(list(shares)), w)
+
+    @given(b=batch, n=peers, d=dims, seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_batched_seeded_dense_matches_sequential(self, b, n, d, seed):
+        stack = _stack(b, d, seed)
+        got = batched_seeded_zero_sum_dense(
+            stack, n, RNG(seed), residual_indices=[i % n for i in range(b)]
+        )
+        rng = RNG(seed)
+        for i in range(b):
+            ref = seeded_zero_sum_shares(
+                stack[i], n, rng, residual_index=i % n
+            ).materialize()
+            assert np.array_equal(got[i], ref)
+
+
+class TestRingBatched:
+    @given(b=batch, n=peers, d=dims, seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_batched_ring_rows_reconstruct_exactly(self, b, n, d, seed):
+        qstack = RNG(seed).integers(
+            0, 2**64, size=(b, d), dtype=np.uint64
+        )
+        shares = batched_divide_ring(qstack, n, RNG(seed))
+        # Ring sums are exact mod 2^64: every row reconstructs bitwise.
+        totals = shares.sum(axis=1, dtype=np.uint64)
+        assert np.array_equal(totals, qstack)
+
+    @given(n=peers, d=dims, seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_ring_wrapper_is_batched_row(self, n, d, seed):
+        q = RNG(seed).integers(0, 2**64, size=d, dtype=np.uint64)
+        assert np.array_equal(
+            divide_ring(q, n, RNG(seed)),
+            batched_divide_ring(q[np.newaxis], n, RNG(seed))[0],
+        )
+        assert np.array_equal(
+            reconstruct_ring(list(divide_ring(q, n, RNG(seed)))), q
+        )
+
+    @given(b=batch, n=peers, d=dims, seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_batched_seeded_ring_dense_matches_sequential(self, b, n, d, seed):
+        qstack = RNG(seed).integers(
+            0, 2**64, size=(b, d), dtype=np.uint64
+        )
+        got = batched_seeded_ring_dense(
+            qstack, n, RNG(seed), residual_indices=[i % n for i in range(b)]
+        )
+        rng = RNG(seed)
+        for i in range(b):
+            ref = seeded_ring_shares(
+                qstack[i], n, rng, residual_index=i % n
+            ).materialize()
+            assert np.array_equal(got[i], ref)
