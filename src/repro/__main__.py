@@ -11,6 +11,7 @@ optionally dumps the raw series to CSV::
     python -m repro trace --trace-out out/trace.json
     python -m repro bench --bench-out BENCH_suite.json
     python -m repro bench --compare OLD.json NEW.json
+    python -m repro chaos --plans 25
 
 ``trace`` runs the failover + wire-round observability scenario and
 writes a JSONL event log, a Prometheus metrics dump, and a Chrome
@@ -22,6 +23,11 @@ capture the run's events and metrics as a side effect.
 (``repro.obs.bench``) and writes a schema-validated ``BENCH_suite.json``;
 with ``--compare`` it instead diffs two artifacts and exits non-zero on
 any regression — the gate future perf PRs cite for before/after numbers.
+
+``chaos`` runs seeded fault-injection campaigns (``repro.chaos``)
+against the SAC, two-layer and Raft stacks and prints the
+pass/degrade/fail matrix; it exits non-zero iff any trial violates a
+safety invariant (see ``docs/robustness.md``).
 """
 
 from __future__ import annotations
@@ -45,13 +51,15 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=[
             "env", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
             "fig12", "fig13", "fig14", "multilayer", "all", "report",
-            "plan", "trace", "bench",
+            "plan", "trace", "bench", "chaos",
         ],
         help="which table/figure to regenerate ('report' writes everything "
         "to a markdown file; 'plan' runs the deployment planner; 'trace' "
         "runs the observability scenario and writes event/metric/timeline "
         "artifacts; 'bench' runs the profiled benchmark suite or, with "
-        "--compare, gates two BENCH artifacts against each other)",
+        "--compare, gates two BENCH artifacts against each other; 'chaos' "
+        "runs seeded fault-injection campaigns and exits non-zero on any "
+        "safety violation)",
     )
     parser.add_argument("--out", default="report.md",
                         help="output path for 'report'")
@@ -110,6 +118,21 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="'bench': execution mode for the "
                         "two_layer_parallel scenario (default: threads); "
                         "sim metrics are mode-independent")
+    parser.add_argument("--plans", type=int, default=25,
+                        help="'chaos': seeded fault plans per layer "
+                        "(default: 25)")
+    parser.add_argument("--profiles", metavar="NAMES", default=None,
+                        help="'chaos': comma-separated fault profiles to "
+                        "cycle through (default: all)")
+    parser.add_argument("--layers", metavar="NAMES", default=None,
+                        help="'chaos': comma-separated layers to stress "
+                        "(default: sac,two_layer,raft)")
+    parser.add_argument("--transport", default="reliable",
+                        choices=["fire_and_forget", "reliable"],
+                        help="'chaos': transport for the SAC/two-layer "
+                        "trials (default: reliable)")
+    parser.add_argument("--seed0", type=int, default=0,
+                        help="'chaos': first plan seed (default: 0)")
     return parser
 
 
@@ -163,12 +186,28 @@ def _run_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_chaos(args: argparse.Namespace) -> int:
+    from .chaos import LAYERS, format_matrix, run_chaos_matrix
+
+    profiles = args.profiles.split(",") if args.profiles else None
+    layers = tuple(args.layers.split(",")) if args.layers else LAYERS
+    reports = run_chaos_matrix(
+        n_plans=args.plans, seed0=args.seed0,
+        profiles=profiles, layers=layers, transport=args.transport,
+    )
+    print(format_matrix(reports))
+    return 1 if any(r.failed for r in reports) else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     set_level(args.log_level)
 
     if args.figure == "bench":
         return _run_bench(args)
+
+    if args.figure == "chaos":
+        return _run_chaos(args)
 
     if args.figure == "trace":
         from .obs.scenario import run_trace_scenario

@@ -1,0 +1,57 @@
+"""repro.chaos: fault-injection schedules and invariant-checked chaos runs.
+
+Typed fault events (:class:`Crash`, :class:`Recover`,
+:class:`PartitionWindow`, :class:`LossWindow`, :class:`DelaySpike`)
+compose into a validated :class:`FaultSchedule` that arms on any
+simulator+network pair; :class:`ChaosPlan` samples schedules from named
+:class:`ChaosProfile` distributions with an explicit generator; the
+invariants grade every run (exact aggregate or nothing; typed failure
+or completion); and :func:`run_chaos_matrix` drives seeded campaigns
+across the SAC, two-layer and Raft stacks (``python -m repro chaos``).
+"""
+
+from .invariants import InvariantVerdict, check_liveness, check_safety
+from .plan import PROFILES, ChaosPlan, ChaosProfile
+from .runner import (
+    LAYERS,
+    TrialReport,
+    format_matrix,
+    run_chaos_matrix,
+    run_raft_trial,
+    run_sac_trial,
+    run_two_layer_trial,
+)
+from .schedule import (
+    ArmedSchedule,
+    Crash,
+    DelaySpike,
+    FaultEvent,
+    FaultSchedule,
+    LossWindow,
+    PartitionWindow,
+    Recover,
+)
+
+__all__ = [
+    "Crash",
+    "Recover",
+    "PartitionWindow",
+    "LossWindow",
+    "DelaySpike",
+    "FaultEvent",
+    "FaultSchedule",
+    "ArmedSchedule",
+    "ChaosProfile",
+    "ChaosPlan",
+    "PROFILES",
+    "InvariantVerdict",
+    "check_safety",
+    "check_liveness",
+    "LAYERS",
+    "TrialReport",
+    "run_sac_trial",
+    "run_two_layer_trial",
+    "run_raft_trial",
+    "run_chaos_matrix",
+    "format_matrix",
+]

@@ -1,0 +1,99 @@
+"""Safety and liveness invariants for chaos-injected rounds.
+
+The paper's correctness claim under faults (Alg. 4, Sec. V) decomposes
+into two machine-checkable invariants:
+
+**Safety** — a round that *reports* completion must produce the exact
+aggregate: bit-identical to the fault-free run of the same seed.  SAC's
+fault tolerance recovers the *same* subtotals a fault-free round
+computes (every peer's shares were distributed before any tolerated
+crash), and summation order is deterministic, so any deviation — a
+wrong average, a missing contributor, a float reordering — is a bug,
+not noise.
+
+**Liveness** — a round must either complete or fail *typed*: a
+:class:`~repro.simnet.RoundOutcome` naming the cause (unrecoverable
+dropout, isolated leader, exhausted retransmit budget).  Idling to the
+blunt ``round_timeout_ms`` is the degradation mode this PR engineers
+away; :func:`check_liveness` flags it as a hang.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..simnet import TIMED_OUT, RoundOutcome
+
+
+@runtime_checkable
+class RoundResult(Protocol):
+    """Duck type shared by ProtocolResult and WireRoundResult."""
+
+    average: Optional[np.ndarray]
+    outcome: RoundOutcome
+
+
+@dataclass(frozen=True)
+class InvariantVerdict:
+    """One invariant's pass/fail plus a human-readable explanation."""
+
+    ok: bool
+    detail: str
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+def check_safety(result: RoundResult, reference: RoundResult) -> InvariantVerdict:
+    """A completed chaos round must equal the fault-free reference exactly.
+
+    ``reference`` is the same round (same models, same seed) run with no
+    faults; a degraded chaos round is vacuously safe (it produced no
+    aggregate to be wrong).
+    """
+    if not result.outcome.ok:
+        if result.average is not None:
+            return InvariantVerdict(
+                False,
+                f"degraded round ({result.outcome}) still exposes an average",
+            )
+        return InvariantVerdict(
+            True, f"no aggregate exposed ({result.outcome.status})"
+        )
+    if not reference.outcome.ok:
+        return InvariantVerdict(
+            False, "chaos round completed but the fault-free reference failed"
+        )
+    if result.average is None:
+        return InvariantVerdict(False, "completed round has no average")
+    if not np.array_equal(
+        np.asarray(result.average), np.asarray(reference.average)
+    ):
+        delta = float(
+            np.max(np.abs(np.asarray(result.average) - np.asarray(reference.average)))
+        )
+        return InvariantVerdict(
+            False,
+            f"aggregate deviates from the fault-free run (max abs diff {delta:g})",
+        )
+    return InvariantVerdict(True, "aggregate bit-identical to fault-free run")
+
+
+#: reason prefix used by the blunt-timeout classifier — a round that
+#: idled to ``round_timeout_ms`` without a sharper cause.
+_HANG_PREFIX = "round timeout"
+
+
+def check_liveness(result: RoundResult) -> InvariantVerdict:
+    """The round completed, or failed with a *typed* cause — not a hang."""
+    outcome = result.outcome
+    if outcome.ok:
+        return InvariantVerdict(True, "completed")
+    if outcome.status == TIMED_OUT and outcome.reason.startswith(_HANG_PREFIX):
+        return InvariantVerdict(
+            False, f"hung to the round timeout: {outcome.reason}"
+        )
+    return InvariantVerdict(True, f"typed degradation: {outcome}")

@@ -1,0 +1,252 @@
+"""Seeded chaos campaigns: N plans x {SAC, two-layer, Raft} -> matrix.
+
+``python -m repro chaos --plans 25`` drives :func:`run_chaos_matrix`:
+for each plan index a fault schedule is sampled per layer (each layer
+has its own node ids, protected leaders and crash budget), the layer's
+round/deployment runs under it, and the invariants grade the result:
+
+- **pass** — the round completed; for SAC/two-layer the aggregate is
+  bit-identical to the fault-free reference run.
+- **degrade** — the round did not complete but failed *typed* (an
+  explained :class:`~repro.simnet.RoundOutcome`, or a Raft deployment
+  that kept election safety but had not restabilized in time).
+- **fail** — an invariant broke: wrong aggregate, a degraded round
+  exposing output, or a Raft election-safety violation.  The CLI exits
+  non-zero iff any trial fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.topology import Topology
+from ..core.wire_round import run_two_layer_wire_round
+from ..secure.protocol import run_sac_protocol
+from ..twolayer_raft.scenarios import chaos_raft_trial
+from .invariants import check_liveness, check_safety
+from .plan import PROFILES, ChaosPlan, ChaosProfile
+
+LAYERS = ("sac", "two_layer", "raft")
+
+#: chaos trials keep the retransmit budget small enough that exhaustion
+#: is detected (and typed) well before the round timeout.
+TRIAL_TRANSPORT_OPTS = {"max_attempts": 6}
+
+
+@dataclass(frozen=True)
+class TrialReport:
+    """One (layer, plan) cell of the chaos matrix."""
+
+    layer: str
+    profile: str
+    seed: int
+    plan: str
+    status: str  # 'pass' | 'degrade' | 'fail'
+    detail: str
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "fail"
+
+
+def _grade(result, reference) -> tuple[str, str]:
+    safety = check_safety(result, reference)
+    if not safety.ok:
+        return "fail", f"SAFETY: {safety.detail}"
+    if result.outcome.ok:
+        return "pass", safety.detail
+    liveness = check_liveness(result)
+    return "degrade", liveness.detail
+
+
+def run_sac_trial(
+    seed: int,
+    profile: ChaosProfile | str,
+    n: int = 8,
+    k: int = 5,
+    model_params: int = 32,
+    transport: str = "reliable",
+) -> TrialReport:
+    """One standalone FT-SAC round under a sampled fault schedule."""
+    rng = np.random.default_rng([seed, 0xC4A05])
+    plan = ChaosPlan.sample(
+        rng, profile, nodes=range(n), protected=(0,), max_crashes=n - k
+    )
+    models = [
+        np.random.default_rng([seed, i]).normal(size=model_params)
+        for i in range(n)
+    ]
+    reference = run_sac_protocol(models, k=k, seed=seed)
+    result = run_sac_protocol(
+        models, k=k, seed=seed, schedule=plan.schedule,
+        transport=transport,
+        transport_opts=dict(TRIAL_TRANSPORT_OPTS)
+        if transport == "reliable" else None,
+        round_timeout_ms=5_000.0,
+    )
+    status, detail = _grade(result, reference)
+    return TrialReport(
+        layer="sac", profile=plan.profile, seed=seed,
+        plan=plan.schedule.describe(), status=status, detail=detail,
+    )
+
+
+def run_two_layer_trial(
+    seed: int,
+    profile: ChaosProfile | str,
+    n_peers: int = 12,
+    group_size: int = 4,
+    k: int = 3,
+    model_params: int = 32,
+    transport: str = "reliable",
+) -> TrialReport:
+    """One two-layer wire round under a sampled fault schedule."""
+    topology = Topology.by_group_size(n_peers, group_size)
+    rng = np.random.default_rng([seed, 0xC4A15])
+    max_crashes = max(0, min(len(g) for g in topology.groups) - k)
+    plan = ChaosPlan.sample(
+        rng, profile, nodes=range(n_peers),
+        protected=topology.leaders, max_crashes=max_crashes,
+    )
+    models = [
+        np.random.default_rng([seed, i]).normal(size=model_params)
+        for i in range(n_peers)
+    ]
+    reference = run_two_layer_wire_round(topology, models, k=k, seed=seed)
+    result = run_two_layer_wire_round(
+        topology, models, k=k, seed=seed, schedule=plan.schedule,
+        transport=transport,
+        transport_opts=dict(TRIAL_TRANSPORT_OPTS)
+        if transport == "reliable" else None,
+        round_timeout_ms=8_000.0,
+    )
+    status, detail = _grade(result, reference)
+    return TrialReport(
+        layer="two_layer", profile=plan.profile, seed=seed,
+        plan=plan.schedule.describe(), status=status, detail=detail,
+    )
+
+
+def run_raft_trial(
+    seed: int,
+    profile: ChaosProfile | str,
+    n_peers: int = 9,
+    n_groups: int = 3,
+) -> TrialReport:
+    """One two-layer Raft deployment under a sampled fault schedule.
+
+    Raft carries its own retransmission (heartbeats re-ship entries), so
+    the deployment always runs fire-and-forget; faults are stretched to
+    Raft's election timescale.  Crashes are capped below every
+    subgroup's quorum so liveness is expected, not just safety.
+    """
+    topology = Topology.by_group_count(n_peers, n_groups)
+    rng = np.random.default_rng([seed, 0xC4A25])
+    max_crashes = max(
+        0, min((len(g) - 1) // 2 for g in topology.groups)
+    )
+    if isinstance(profile, str):
+        profile = PROFILES[profile]
+    profile = replace(profile, horizon_ms=1_200.0)
+    plan = ChaosPlan.sample(
+        rng, profile, nodes=range(n_peers), max_crashes=max_crashes
+    )
+    report = chaos_raft_trial(seed=seed, schedule=plan.schedule, topology=topology)
+    if not report.election_safety_ok:
+        status, detail = "fail", "SAFETY: " + "; ".join(report.violations)
+    elif report.restabilized:
+        status = "pass"
+        detail = (
+            f"election safety held; restabilized"
+            f" ({report.elections_during_faults} elections under faults)"
+        )
+    else:
+        status, detail = "degrade", "election safety held; not restabilized"
+    return TrialReport(
+        layer="raft", profile=plan.profile, seed=seed,
+        plan=plan.schedule.describe(), status=status, detail=detail,
+    )
+
+
+_TRIAL_FNS = {
+    "sac": run_sac_trial,
+    "two_layer": run_two_layer_trial,
+    "raft": run_raft_trial,
+}
+
+
+def run_chaos_matrix(
+    n_plans: int = 25,
+    seed0: int = 0,
+    profiles: Optional[Sequence[str]] = None,
+    layers: Sequence[str] = LAYERS,
+    transport: str = "reliable",
+) -> list[TrialReport]:
+    """Run ``n_plans`` seeded plans against every requested layer."""
+    profiles = list(profiles or PROFILES)
+    unknown = [p for p in profiles if p not in PROFILES]
+    if unknown:
+        raise ValueError(f"unknown profiles {unknown}; known: {sorted(PROFILES)}")
+    bad = [l for l in layers if l not in _TRIAL_FNS]
+    if bad:
+        raise ValueError(f"unknown layers {bad}; known: {LAYERS}")
+    reports: list[TrialReport] = []
+    for i in range(n_plans):
+        profile = profiles[i % len(profiles)]
+        seed = seed0 + i
+        for layer in layers:
+            if layer == "raft":
+                reports.append(run_raft_trial(seed, profile))
+            else:
+                reports.append(
+                    _TRIAL_FNS[layer](seed, profile, transport=transport)
+                )
+    return reports
+
+
+def format_matrix(reports: Sequence[TrialReport]) -> str:
+    """Render the per-layer/per-profile pass/degrade/fail matrix."""
+    cells: dict[tuple[str, str], dict[str, int]] = {}
+    layers: list[str] = []
+    profiles: list[str] = []
+    for r in reports:
+        if r.layer not in layers:
+            layers.append(r.layer)
+        if r.profile not in profiles:
+            profiles.append(r.profile)
+        counts = cells.setdefault((r.layer, r.profile), {})
+        counts[r.status] = counts.get(r.status, 0) + 1
+    width = max([len(p) for p in profiles] + [7])
+    lines = []
+    header = "profile".ljust(width) + "".join(
+        f"  {layer:>22}" for layer in layers
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for profile in profiles:
+        row = profile.ljust(width)
+        for layer in layers:
+            counts = cells.get((layer, profile), {})
+            cell = "/".join(
+                str(counts.get(s, 0)) for s in ("pass", "degrade", "fail")
+            )
+            row += f"  {cell:>22}"
+        lines.append(row)
+    lines.append("-" * len(header))
+    totals = {
+        s: sum(1 for r in reports if r.status == s)
+        for s in ("pass", "degrade", "fail")
+    }
+    lines.append(
+        f"totals: {totals['pass']} pass / {totals['degrade']} degrade"
+        f" / {totals['fail']} fail   (cells are pass/degrade/fail)"
+    )
+    failures = [r for r in reports if r.failed]
+    for r in failures:
+        lines.append(
+            f"FAIL [{r.layer}/{r.profile} seed={r.seed}] {r.plan}: {r.detail}"
+        )
+    return "\n".join(lines)

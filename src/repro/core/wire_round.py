@@ -15,17 +15,36 @@ and with ``serialize_uplink=True`` the measured completion time tracks
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
 from ..fl.fedavg import fedavg
 from ..obs import runtime as _obs
 from ..par import SubgroupTask, check_parallel_mode, run_jobs, run_subgroup_round
-from ..secure.protocol import SacProtocolPeer
+from ..secure.protocol import (
+    SacProtocolPeer,
+    _gone_for_good,
+    classify_sac_failure,
+    reliable_transport_opts,
+)
 from ..secure.sac import DEFAULT_BITS_PER_PARAM
-from ..simnet import FixedLatency, Network, Simulator, TraceRecorder
+from ..simnet import (
+    LEADER_ISOLATED,
+    OUTCOME_COMPLETED,
+    TIMED_OUT,
+    UNRECOVERABLE_DROPOUT,
+    FixedLatency,
+    Network,
+    RoundOutcome,
+    Simulator,
+    TraceRecorder,
+    check_transport,
+)
 from .topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..chaos.schedule import FaultSchedule
 
 
 @dataclass(frozen=True)
@@ -143,14 +162,28 @@ class _RoundContext:
 
 @dataclass(frozen=True)
 class WireRoundResult:
-    """Outcome of one on-the-wire two-layer round."""
+    """Outcome of one on-the-wire two-layer round.
+
+    ``outcome`` is the typed verdict (see
+    :class:`repro.simnet.RoundOutcome`); degraded rounds carry a
+    ``reason`` naming the cause instead of a bare ``False``.
+    """
 
     average: Optional[np.ndarray]
-    completed: bool
+    outcome: RoundOutcome
     finish_time_ms: Optional[float]
     bits_sent: float
     messages_sent: int
     bits_by_kind: dict
+    #: transport-level retransmissions this round (0 under fire-and-forget).
+    retransmits: int = 0
+    #: messages the network failed to deliver (link down or random loss).
+    drops: int = 0
+
+    @property
+    def completed(self) -> bool:
+        """Deprecated: pre-outcome boolean; use ``outcome`` instead."""
+        return self.outcome.ok
 
 
 def _check_crash_at(
@@ -170,6 +203,96 @@ def _check_crash_at(
     return crash_at
 
 
+def _classify_wire_failure(
+    peers_by_group: list[list["_TwoLayerPeer"]],
+    ctx: "_RoundContext",
+    fed_leader_peer: "_TwoLayerPeer",
+    network: Network,
+) -> Optional[RoundOutcome]:
+    """Early, *sound* unrecoverability check for the two-layer round.
+
+    Crash-permanence based, like :func:`classify_sac_failure`; transient
+    causes (loss, healable partitions) never trigger it.
+    """
+    if _gone_for_good(network, ctx.fed_leader):
+        return RoundOutcome(
+            UNRECOVERABLE_DROPOUT,
+            reason=(
+                f"FedAvg leader {ctx.fed_leader} crashed with no recovery"
+                " scheduled"
+            ),
+        )
+    for gi, group_peers in enumerate(peers_by_group):
+        leader_pos = group_peers[0].leader_pos
+        group_leader = group_peers[0].leader
+        if group_peers[leader_pos].average is None:
+            out = classify_sac_failure(group_peers, leader_pos, network)
+            if out is not None:
+                return RoundOutcome(
+                    out.status, reason=f"subgroup {gi}: {out.reason}"
+                )
+        elif (
+            gi not in fed_leader_peer._uploads
+            and _gone_for_good(network, group_leader)
+        ):
+            return RoundOutcome(
+                UNRECOVERABLE_DROPOUT,
+                reason=(
+                    f"subgroup {gi} leader {group_leader} crashed after"
+                    " aggregating but before its upload reached the"
+                    " FedAvg leader"
+                ),
+            )
+    return None
+
+
+def _classify_wire_timeout(
+    peers: list["_TwoLayerPeer"],
+    ctx: "_RoundContext",
+    network: Network,
+) -> RoundOutcome:
+    """Name the most likely cause after the round idled to its timeout."""
+    undone_alive = sorted(
+        p.node_id for p in peers
+        if p.node_id not in ctx.done_peers
+        and not network.is_crashed(p.node_id)
+    )
+    partition = network._partition
+    if partition is not None:
+        leader_group = partition.get(ctx.fed_leader)
+        cut_off = [
+            pid for pid in undone_alive if partition.get(pid) != leader_group
+        ]
+        if cut_off or network.is_crashed(ctx.fed_leader):
+            return RoundOutcome(
+                LEADER_ISOLATED,
+                reason=(
+                    f"partition separates FedAvg leader {ctx.fed_leader}"
+                    f" from alive peers {cut_off}"
+                ),
+            )
+    reliable = network.reliable
+    if reliable is not None and reliable.exhausted_undelivered:
+        ex = next(
+            e for e in reliable.exhausted
+            if not e.delivered and not network.is_crashed(e.dst)
+        )
+        return RoundOutcome(
+            TIMED_OUT,
+            reason=(
+                f"retransmit budget exhausted for {ex.kind!r}"
+                f" {ex.src}->{ex.dst} with the destination alive"
+            ),
+        )
+    return RoundOutcome(
+        TIMED_OUT,
+        reason=(
+            f"round timeout with alive peers {undone_alive} still missing"
+            " the global model"
+        ),
+    )
+
+
 def run_two_layer_wire_round(
     topology: Topology,
     models: Sequence[np.ndarray],
@@ -183,6 +306,10 @@ def run_two_layer_wire_round(
     share_codec: str = "dense",
     parallel: str = "off",
     crash_at: dict[int, float] | None = None,
+    loss_rate: float = 0.0,
+    transport: str = "fire_and_forget",
+    transport_opts: dict | None = None,
+    schedule: "FaultSchedule | None" = None,
 ) -> WireRoundResult:
     """Execute one full two-layer aggregation round as network actors.
 
@@ -205,16 +332,31 @@ def run_two_layer_wire_round(
     bit-identical to the default sequential execution (event *ordering*
     on the bus is subgroup-major rather than time-interleaved; every
     timestamp is identical, so profiles and exports agree).
+
+    ``loss_rate``/``transport``/``transport_opts``/``schedule`` mirror
+    :func:`repro.secure.protocol.run_sac_protocol`: random loss, the
+    ACK/retransmit channel, and armed chaos schedules.  They couple the
+    subgroups through shared network state, so they require
+    ``parallel="off"``.
     """
     if len(models) != topology.n_peers:
         raise ValueError(f"expected {topology.n_peers} models")
     check_parallel_mode(parallel)
+    check_transport(transport)
     crash_at = _check_crash_at(topology, crash_at)
+    if transport == "reliable":
+        transport_opts = reliable_transport_opts(delay_ms, transport_opts)
     if parallel != "off":
         if serialize_uplink:
             raise ValueError(
                 "serialize_uplink shares one uplink schedule across all "
                 "subgroups and cannot be decomposed; use parallel='off'"
+            )
+        if schedule is not None or loss_rate or transport != "fire_and_forget":
+            raise ValueError(
+                "chaos injection (schedule/loss_rate/reliable transport) "
+                "couples the subgroups through shared network state and "
+                "cannot be decomposed; use parallel='off'"
             )
         return _run_parallel_round(
             topology, models, k=k, delay_ms=delay_ms, seed=seed,
@@ -228,7 +370,9 @@ def run_two_layer_wire_round(
     trace = TraceRecorder()
     network = Network(
         sim, latency=FixedLatency(delay_ms), rng=rng, trace=trace,
+        loss_rate=loss_rate,
         bandwidth_bps=bandwidth_bps, serialize_uplink=serialize_uplink,
+        transport=transport, transport_opts=transport_opts,
     )
     ctx = _RoundContext(
         fed_leader=topology.leaders[0],
@@ -257,34 +401,94 @@ def run_two_layer_wire_round(
         sim.schedule(0.0, peer.start_round)
     for pid, t in crash_at.items():
         sim.schedule(t, lambda pid=pid: network.crash(pid))
+    if schedule is not None:
+        schedule.validate_nodes(range(topology.n_peers))
+        schedule.arm(sim, network)
 
+    fed_leader_peer = next(p for p in peers if p.node_id == ctx.fed_leader)
+    peers_by_group: list[list[_TwoLayerPeer]] = [
+        [p for p in peers if p.group == gi]
+        for gi in range(topology.n_groups)
+    ]
     # Crashed peers never adopt the global model; the round is complete
-    # once every *surviving* peer holds it.
+    # once every *surviving* peer holds it.  Without a chaos schedule the
+    # survivor set is known up front (seed semantics, zero per-event
+    # cost); under chaos, crashes and recoveries move it, so membership
+    # is evaluated live.
     everyone = set(range(topology.n_peers)) - set(crash_at)
+    if schedule is None:
+        def _done() -> bool:
+            return everyone.issubset(ctx.done_peers)
+    else:
+        def _done() -> bool:
+            return ctx.fed_leader in ctx.done_peers and all(
+                p.node_id in ctx.done_peers
+                or network.is_crashed(p.node_id)
+                for p in peers
+            )
+
+    # Periodic god's-eye liveness check (timer-only: no messages, no
+    # randomness — fault-free runs stay bit-identical to the seed).
+    fatal: list[RoundOutcome] = []
+
+    def _check_fatal() -> None:
+        if _done() or fatal:
+            return
+        out: Optional[RoundOutcome] = None
+        reliable = network.reliable
+        if reliable is not None and reliable.exhausted_undelivered:
+            ex = next(
+                e for e in reliable.exhausted
+                if not e.delivered and not network.is_crashed(e.dst)
+            )
+            out = RoundOutcome(
+                TIMED_OUT,
+                reason=(
+                    f"retransmit budget exhausted for {ex.kind!r}"
+                    f" {ex.src}->{ex.dst} with the destination alive"
+                ),
+            )
+        elif not network._fault_free:
+            out = _classify_wire_failure(
+                peers_by_group, ctx, fed_leader_peer, network
+            )
+        if out is not None:
+            fatal.append(out)
+        else:
+            sim.schedule(subtotal_timeout_ms, _check_fatal)
+
+    sim.schedule(subtotal_timeout_ms, _check_fatal)
     with _obs.OBS.span(
         "round.two_layer", clock=lambda: sim.now,
         peers=topology.n_peers, groups=topology.n_groups,
     ):
         sim.run_while(
-            lambda: not everyone.issubset(ctx.done_peers)
-            and sim.now < round_timeout_ms
+            lambda: not _done() and sim.now < round_timeout_ms and not fatal
         )
-    completed = everyone.issubset(ctx.done_peers)
+    completed = _done()
+    if completed:
+        outcome = OUTCOME_COMPLETED
+    elif fatal:
+        outcome = fatal[0]
+    else:
+        outcome = _classify_wire_timeout(peers, ctx, network)
     if _obs.OBS.enabled:
         _obs.OBS.emit(
             "round.complete", t_ms=sim.now, completed=completed,
+            outcome=outcome.status,
             bits=trace.total_bits, messages=trace.total_messages,
         )
-    fed_leader_peer = next(p for p in peers if p.node_id == ctx.fed_leader)
     times = [p.global_model_time for p in peers if p.global_model_time is not None]
     finish = max(times) if completed and times else None
     return WireRoundResult(
         average=fed_leader_peer.global_model,
-        completed=completed,
+        outcome=outcome,
         finish_time_ms=finish,
         bits_sent=trace.total_bits,
         messages_sent=trace.total_messages,
         bits_by_kind=trace.by_kind(),
+        retransmits=network.reliable.retransmits if network.reliable else 0,
+        drops=trace.total_dropped,
     )
 
 
@@ -395,19 +599,26 @@ def _run_parallel_round(
     for outcome in outcomes:
         for kind, b in outcome.bits_by_kind.items():
             by_kind[kind] = by_kind.get(kind, 0.0) + b
+    fed_leader_peer = next(p for p in peers if p.node_id == ctx.fed_leader)
+    if completed:
+        round_outcome = OUTCOME_COMPLETED
+    else:
+        round_outcome = _classify_wire_timeout(peers, ctx, network)
     if _obs.OBS.enabled:
         _obs.OBS.emit(
             "round.complete", t_ms=sim.now, completed=completed,
+            outcome=round_outcome.status,
             bits=bits, messages=messages,
         )
-    fed_leader_peer = next(p for p in peers if p.node_id == ctx.fed_leader)
     times = [p.global_model_time for p in peers if p.global_model_time is not None]
     finish = max(times) if completed and times else None
     return WireRoundResult(
         average=fed_leader_peer.global_model,
-        completed=completed,
+        outcome=round_outcome,
         finish_time_ms=finish,
         bits_sent=bits,
         messages_sent=messages,
         bits_by_kind=by_kind,
+        retransmits=0,
+        drops=trace.total_dropped + sum(o.dropped for o in outcomes),
     )

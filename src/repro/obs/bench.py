@@ -148,6 +148,63 @@ def _run_sac_round_batched(params: dict, seed: int) -> dict:
     }
 
 
+def _run_sac_round_lossy(params: dict, seed: int) -> dict:
+    from ..secure.protocol import run_sac_protocol
+
+    # sac_round's workload over a lossy wire with the reliable transport:
+    # the deltas against sac_round price the ACK/retransmit machinery
+    # (bits, messages, sim time) at the given loss rate.
+    rng = np.random.default_rng(seed)
+    models = [rng.normal(size=params["model_params"])
+              for _ in range(params["n"])]
+    result = run_sac_protocol(
+        models, k=params["k"], seed=seed,
+        loss_rate=params["loss_rate"], transport="reliable",
+    )
+    assert result.outcome.ok
+    return {
+        "sim_time_ms": result.finish_time_ms,
+        "bits": result.bits_sent,
+        "messages": result.messages_sent,
+        "retransmits": result.retransmits,
+        "drops": result.drops,
+    }
+
+
+def _run_two_layer_chaos(params: dict, seed: int) -> dict:
+    from ..chaos import Crash, FaultSchedule, LossWindow, Recover
+    from ..core.topology import Topology
+    from ..core.wire_round import run_two_layer_wire_round
+
+    # A fixed crash+recover+loss schedule against one follower, under the
+    # reliable transport: the round must still complete (the recovered
+    # peer's held frames resend), and the sim metrics price a full
+    # chaos-tolerant round against the fault-free two_layer rows.
+    topo = Topology.by_group_count(params["n"], params["m"])
+    k = min(params["k"], min(topo.group_sizes))
+    victim = next(p for p in range(topo.n_peers) if p not in topo.leaders)
+    schedule = FaultSchedule([
+        Crash(params["crash_ms"], victim),
+        Recover(params["recover_ms"], victim),
+        LossWindow(0.0, params["lossy_until_ms"], params["loss_rate"]),
+    ])
+    rng = np.random.default_rng(seed)
+    models = [rng.normal(size=params["model_params"])
+              for _ in range(topo.n_peers)]
+    result = run_two_layer_wire_round(
+        topo, models, k=k, seed=seed,
+        schedule=schedule, transport="reliable",
+    )
+    assert result.outcome.ok
+    return {
+        "sim_time_ms": result.finish_time_ms,
+        "bits": result.bits_sent,
+        "messages": result.messages_sent,
+        "retransmits": result.retransmits,
+        "drops": result.drops,
+    }
+
+
 def _run_two_layer(params: dict, seed: int) -> dict:
     from ..core.topology import Topology
     from ..core.wire_round import run_two_layer_wire_round
@@ -235,6 +292,7 @@ def build_suite(
         nn = {"n_train": 128, "n_features": 8, "hidden": 16}
         params = 32
         par_nm = (9, 3)
+        chaos_nm = (9, 3)
     else:
         two_layer = [(12, 3), (12, 4), (20, 5)]
         sac = {"n": 8, "k": 5, "model_params": 512}
@@ -243,6 +301,7 @@ def build_suite(
         nn = {"n_train": 512, "n_features": 16, "hidden": 32}
         params = 256
         par_nm = (20, 5)
+        chaos_nm = (12, 4)
     suite = [
         Scenario("sac_round", seed, sac, _run_sac_round),
         Scenario("ftsac_dropout", seed, ftsac, _run_ftsac_dropout),
@@ -270,6 +329,21 @@ def build_suite(
         {"n": par_nm[0], "m": par_nm[1], "k": 2, "model_params": params,
          "parallel": parallel or "threads"},
         _run_two_layer,
+    ))
+    # Robustness workloads: the same rounds under loss / fault schedules
+    # with the reliable transport — prices retransmission, and guards the
+    # chaos path's determinism the same way the rows above guard the
+    # default path's.
+    suite.append(Scenario(
+        "sac_round_lossy", seed,
+        {**sac, "loss_rate": 0.2}, _run_sac_round_lossy,
+    ))
+    suite.append(Scenario(
+        "two_layer_chaos", seed,
+        {"n": chaos_nm[0], "m": chaos_nm[1], "k": 2, "model_params": params,
+         "crash_ms": 10.0, "recover_ms": 200.0,
+         "lossy_until_ms": 150.0, "loss_rate": 0.15},
+        _run_two_layer_chaos,
     ))
     suite.append(Scenario("failover", seed, failover, _run_failover))
     suite.append(Scenario("nn_epoch", seed, nn, _run_nn_epoch))

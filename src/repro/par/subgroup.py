@@ -61,6 +61,7 @@ class SubgroupOutcome:
     bits_sent: float
     messages_sent: int
     bits_by_kind: dict
+    dropped: int = 0
 
 
 def run_subgroup_round(task: SubgroupTask) -> SubgroupOutcome:
@@ -112,6 +113,7 @@ def run_subgroup_round(task: SubgroupTask) -> SubgroupOutcome:
         bits_sent=trace.total_bits,
         messages_sent=trace.total_messages,
         bits_by_kind=trace.by_kind(),
+        dropped=trace.total_dropped,
     )
 
 

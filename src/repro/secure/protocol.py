@@ -28,13 +28,28 @@ in the plain-SAC abort path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
 from ..obs import runtime as _obs
-from ..simnet import FixedLatency, Network, SimNode, Simulator, TraceRecorder
+from ..simnet import (
+    LEADER_ISOLATED,
+    OUTCOME_COMPLETED,
+    TIMED_OUT,
+    UNRECOVERABLE_DROPOUT,
+    FixedLatency,
+    Network,
+    RoundOutcome,
+    SimNode,
+    Simulator,
+    TraceRecorder,
+    check_transport,
+)
 from .additive import divide
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..chaos.schedule import FaultSchedule
 from .replicated import holders_of_share, shares_held_by
 from .sac import DEFAULT_BITS_PER_PARAM, _check_codec
 from .seedshare import SeedShare, seeded_zero_sum_shares
@@ -75,14 +90,28 @@ class RecoveryRequest:
 
 @dataclass(frozen=True)
 class ProtocolResult:
-    """Outcome of one simulated SAC round."""
+    """Outcome of one simulated SAC round.
+
+    ``outcome`` is the typed verdict: ``completed`` on success,
+    otherwise a degradation status with a human-readable ``reason``
+    naming the cause (see :class:`repro.simnet.RoundOutcome`).
+    """
 
     average: Optional[np.ndarray]
-    completed: bool
+    outcome: RoundOutcome
     finish_time_ms: Optional[float]
     bits_sent: float
     messages_sent: int
     recovered_shares: tuple[int, ...]
+    #: transport-level retransmissions this round (0 under fire-and-forget).
+    retransmits: int = 0
+    #: messages the network failed to deliver (link down or random loss).
+    drops: int = 0
+
+    @property
+    def completed(self) -> bool:
+        """Deprecated: pre-outcome boolean; use ``outcome`` instead."""
+        return self.outcome.ok
 
     @property
     def gigabits(self) -> float:
@@ -130,6 +159,7 @@ class SacProtocolPeer(SimNode):
         self._subtotals: dict[int, np.ndarray] = {}
         self._sent_primary = False
         self._recovery_pending: set[int] = set()
+        self._recovery_attempts: dict[int, int] = {}
         self.recovered: set[int] = set()
         self.average: Optional[np.ndarray] = None
         self.finish_time: Optional[float] = None
@@ -220,6 +250,8 @@ class SacProtocolPeer(SimNode):
 
     # ------------------------------------------------- phase 3 (leader only)
     def _check_missing(self) -> None:
+        if self.average is not None:
+            return
         missing = set(range(self.n)) - set(self._subtotals)
         for idx in sorted(missing):
             holders = [
@@ -228,22 +260,34 @@ class SacProtocolPeer(SimNode):
                 if h != self.position
                 and not self.network.is_crashed(self.members[h])
             ]
-            if holders and idx not in self._recovery_pending:
+            if not holders:
+                continue
+            if idx in self._recovery_pending:
+                # A full timeout passed with the fetch unanswered (the
+                # request or its reply was lost, or the holder crashed
+                # after our liveness check): rotate to the next
+                # surviving holder instead of stalling on the first one
+                # forever.
+                self._recovery_attempts[idx] += 1
+            else:
                 self._recovery_pending.add(idx)
-                if _obs.OBS.enabled:
-                    self._emit(
-                        "sac.recover.request", index=idx,
-                        holder=self.members[holders[0]],
-                    )
-                    _obs.OBS.metrics.counter(
-                        "sac_recoveries_total",
-                        "Share-recovery fetches issued by SAC leaders.",
-                    ).inc()
-                req = RecoveryRequest(idx)
-                self.send(
-                    self.members[holders[0]], req,
-                    size_bits=req.size_bits(), kind="sac.recover",
+                self._recovery_attempts.setdefault(idx, 0)
+            holder = holders[self._recovery_attempts[idx] % len(holders)]
+            if _obs.OBS.enabled:
+                self._emit(
+                    "sac.recover.request", index=idx,
+                    holder=self.members[holder],
+                    attempt=self._recovery_attempts[idx],
                 )
+                _obs.OBS.metrics.counter(
+                    "sac_recoveries_total",
+                    "Share-recovery fetches issued by SAC leaders.",
+                ).inc()
+            req = RecoveryRequest(idx)
+            self.send(
+                self.members[holder], req,
+                size_bits=req.size_bits(), kind="sac.recover",
+            )
         if missing:
             self.set_timer(self.subtotal_timeout_ms, self._check_missing)
 
@@ -300,6 +344,137 @@ class SacProtocolPeer(SimNode):
             raise TypeError(f"unknown SAC message {type(msg).__name__}")
 
 
+def _gone_for_good(network: Network, node_id: int) -> bool:
+    """Crashed with no recovery scheduled (god's-eye permanence check)."""
+    return network.is_crashed(node_id) and not network.may_recover(node_id)
+
+
+def classify_sac_failure(
+    peers: Sequence[SacProtocolPeer],
+    leader_pos: int,
+    network: Network,
+) -> Optional[RoundOutcome]:
+    """Early, *sound* unrecoverability check for one SAC group.
+
+    Returns a typed failure only when completion is provably impossible
+    from crash permanence alone — the simulated stand-in for the perfect
+    failure detector a real deployment approximates with timeouts.  It
+    inspects peer state (bundles, subtotals) with god's-eye access;
+    transient causes (loss, partitions that may heal) never trigger it,
+    so a ``None`` here just means "keep running".
+    """
+    leader_peer = peers[leader_pos]
+    n, k = leader_peer.n, leader_peer.k
+    members = leader_peer.members
+    if _gone_for_good(network, members[leader_pos]):
+        return RoundOutcome(
+            UNRECOVERABLE_DROPOUT,
+            reason=(
+                f"leader {members[leader_pos]} crashed with no recovery"
+                " scheduled; SAC needs Raft re-election to continue"
+            ),
+        )
+    for idx in range(n):
+        if idx in leader_peer._subtotals:
+            continue
+        supply_possible = False
+        for h in holders_of_share(idx, n, k):
+            if _gone_for_good(network, members[h]):
+                continue
+            holder_peer = peers[h]
+            if idx in holder_peer._subtotals:
+                supply_possible = True
+                break
+            # The holder can still compute subtotal ``idx`` iff every
+            # origin's bundle either already arrived or could still be
+            # resent (origin alive or recovering).  Lost-but-alive cases
+            # are conservatively counted as possible; the round timeout
+            # owns them.
+            if all(
+                o in holder_peer._bundles
+                or not _gone_for_good(network, members[o])
+                for o in range(n)
+            ):
+                supply_possible = True
+                break
+        if not supply_possible:
+            dead_holders = sorted(
+                members[h]
+                for h in holders_of_share(idx, n, k)
+                if _gone_for_good(network, members[h])
+            )
+            if dead_holders:
+                reason = (
+                    f"share index {idx} is lost: holders {dead_holders}"
+                    " crashed and no surviving peer can reconstruct its"
+                    " subtotal"
+                )
+            else:
+                dead_origins = sorted(
+                    members[o] for o in range(n)
+                    if _gone_for_good(network, members[o])
+                )
+                reason = (
+                    f"share index {idx} is lost: peers {dead_origins}"
+                    " crashed before their share bundles were delivered"
+                )
+            return RoundOutcome(UNRECOVERABLE_DROPOUT, reason=reason)
+    return None
+
+
+def classify_sac_timeout(
+    leader_peer: SacProtocolPeer,
+    network: Network,
+) -> RoundOutcome:
+    """Name the most likely cause after a round idled to its timeout."""
+    members = leader_peer.members
+    leader_id = leader_peer.node_id
+    partition = network._partition
+    if partition is not None:
+        leader_group = partition.get(leader_id)
+        cut_off = [
+            m for m in members
+            if m != leader_id
+            and not network.is_crashed(m)
+            and partition.get(m) != leader_group
+        ]
+        if cut_off:
+            return RoundOutcome(
+                LEADER_ISOLATED,
+                reason=(
+                    f"partition separates leader {leader_id} from alive"
+                    f" peers {cut_off}"
+                ),
+            )
+    reliable = network.reliable
+    if reliable is not None and reliable.exhausted_undelivered:
+        ex = next(
+            e for e in reliable.exhausted
+            if not e.delivered and not network.is_crashed(e.dst)
+        )
+        return RoundOutcome(
+            TIMED_OUT,
+            reason=(
+                f"retransmit budget exhausted for {ex.kind!r}"
+                f" {ex.src}->{ex.dst} with the destination alive"
+            ),
+        )
+    missing = sorted(set(range(leader_peer.n)) - set(leader_peer._subtotals))
+    return RoundOutcome(
+        TIMED_OUT,
+        reason=f"round timeout with subtotals missing for indices {missing}",
+    )
+
+
+def reliable_transport_opts(
+    delay_ms: float, transport_opts: dict | None
+) -> dict:
+    """Default the reliable channel's RTO to two round trips."""
+    opts = dict(transport_opts or {})
+    opts.setdefault("base_rto_ms", 4.0 * delay_ms)
+    return opts
+
+
 def run_sac_protocol(
     models: Sequence[np.ndarray],
     k: int,
@@ -312,6 +487,10 @@ def run_sac_protocol(
     bandwidth_bps: float | None = None,
     serialize_uplink: bool = False,
     share_codec: str = "dense",
+    loss_rate: float = 0.0,
+    transport: str = "fire_and_forget",
+    transport_opts: dict | None = None,
+    schedule: "FaultSchedule | None" = None,
 ) -> ProtocolResult:
     """Execute one k-out-of-n SAC round on the simulated network.
 
@@ -329,6 +508,19 @@ def run_sac_protocol(
         splits); ``"seed"`` ships PRG seeds for mask shares and full
         vectors only for residual replicas; ``"seed-dense"`` materializes
         the seed-derived shares on the wire (control arm).
+    loss_rate:
+        Probability that any physical transmission is dropped.
+    transport:
+        ``"fire_and_forget"`` (seed default, bit-identical) or
+        ``"reliable"`` for the ACK/retransmit channel — required for the
+        round to survive a non-zero ``loss_rate`` deterministically.
+    transport_opts:
+        Overrides for the reliable channel (``base_rto_ms``, ``backoff``,
+        ``max_attempts``); ``base_rto_ms`` defaults to ``4 * delay_ms``.
+    schedule:
+        Optional :class:`repro.chaos.FaultSchedule` armed on the round's
+        simulator — crashes/recoveries, partition windows, loss windows
+        and delay spikes all land mid-flight.
     """
     n = len(models)
     if not 1 <= k <= n:
@@ -337,13 +529,18 @@ def run_sac_protocol(
         raise ValueError("leader out of range")
     if crash_at and leader in crash_at:
         raise ValueError("crashing the leader needs Raft re-election, not SAC")
+    check_transport(transport)
+    if transport == "reliable":
+        transport_opts = reliable_transport_opts(delay_ms, transport_opts)
 
     sim = Simulator()
     trace = TraceRecorder()
     rng = np.random.default_rng(seed)
     network = Network(
         sim, latency=FixedLatency(delay_ms), rng=rng, trace=trace,
+        loss_rate=loss_rate,
         bandwidth_bps=bandwidth_bps, serialize_uplink=serialize_uplink,
+        transport=transport, transport_opts=transport_opts,
     )
     peers = [
         SacProtocolPeer(
@@ -358,18 +555,61 @@ def run_sac_protocol(
         sim.schedule(0.0, peer.start_round)
     for pid, t in (crash_at or {}).items():
         sim.schedule(t, lambda pid=pid: network.crash(pid))
+    if schedule is not None:
+        schedule.validate_nodes(range(n))
+        schedule.arm(sim, network)
 
     leader_peer = peers[leader]
+    # Periodic god's-eye liveness check: detects provably unrecoverable
+    # rounds (and exhausted retransmit budgets) early instead of idling
+    # to round_timeout_ms.  Timer-only — it sends no messages and draws
+    # no randomness, so fault-free runs stay bit-identical to the seed.
+    fatal: list[RoundOutcome] = []
+
+    def _check_fatal() -> None:
+        if leader_peer.average is not None or fatal:
+            return
+        out: Optional[RoundOutcome] = None
+        reliable = network.reliable
+        if reliable is not None and reliable.exhausted_undelivered:
+            ex = next(
+                e for e in reliable.exhausted
+                if not e.delivered and not network.is_crashed(e.dst)
+            )
+            out = RoundOutcome(
+                TIMED_OUT,
+                reason=(
+                    f"retransmit budget exhausted for {ex.kind!r}"
+                    f" {ex.src}->{ex.dst} with the destination alive"
+                ),
+            )
+        elif not network._fault_free:
+            out = classify_sac_failure(peers, leader, network)
+        if out is not None:
+            fatal.append(out)
+        else:
+            sim.schedule(subtotal_timeout_ms, _check_fatal)
+
+    sim.schedule(subtotal_timeout_ms, _check_fatal)
     sim.run_while(
-        lambda: leader_peer.average is None and sim.now < round_timeout_ms
+        lambda: leader_peer.average is None
+        and sim.now < round_timeout_ms
+        and not fatal
     )
-    completed = leader_peer.average is not None
+    if leader_peer.average is not None:
+        outcome = OUTCOME_COMPLETED
+    elif fatal:
+        outcome = fatal[0]
+    else:
+        outcome = classify_sac_timeout(leader_peer, network)
     recovered = tuple(sorted(leader_peer.recovered))
     return ProtocolResult(
         average=leader_peer.average,
-        completed=completed,
+        outcome=outcome,
         finish_time_ms=leader_peer.finish_time,
         bits_sent=trace.total_bits,
         messages_sent=trace.total_messages,
         recovered_shares=recovered,
+        retransmits=network.reliable.retransmits if network.reliable else 0,
+        drops=trace.total_dropped,
     )

@@ -24,6 +24,22 @@ from .network import (
     UniformLatency,
 )
 from .node import SimNode
+from .outcome import (
+    COMPLETED,
+    LEADER_ISOLATED,
+    OUTCOME_COMPLETED,
+    ROUND_STATUSES,
+    TIMED_OUT,
+    UNRECOVERABLE_DROPOUT,
+    RoundOutcome,
+)
+from .reliable import (
+    ACK_BITS,
+    FRAME_HEADER_BITS,
+    TRANSPORTS,
+    ReliableTransport,
+    check_transport,
+)
 from .trace import MessageRecord, TraceRecorder
 
 __all__ = [
@@ -40,4 +56,16 @@ __all__ = [
     "SimNode",
     "MessageRecord",
     "TraceRecorder",
+    "ReliableTransport",
+    "TRANSPORTS",
+    "ACK_BITS",
+    "FRAME_HEADER_BITS",
+    "check_transport",
+    "RoundOutcome",
+    "ROUND_STATUSES",
+    "COMPLETED",
+    "TIMED_OUT",
+    "UNRECOVERABLE_DROPOUT",
+    "LEADER_ISOLATED",
+    "OUTCOME_COMPLETED",
 ]

@@ -16,6 +16,7 @@ import numpy as np
 from ..obs import runtime as _obs
 from ..obs.bus import EventBus
 from .events import Simulator
+from .reliable import AckFrame, DataFrame, ReliableTransport, check_transport
 from .trace import MessageRecord, TraceRecorder
 
 #: Default one-way network delay in milliseconds (paper Sec. VI-B1).
@@ -139,6 +140,16 @@ class Network:
         send on its message plane.  ``trace`` is subscribed to it;
         additional accountants can subscribe without touching this
         class.  A fresh private bus is created when not supplied.
+    transport:
+        ``"fire_and_forget"`` (default) ships every message exactly once
+        — lost is lost, matching the seed's bit-for-bit cost pins.
+        ``"reliable"`` routes application messages through a
+        :class:`~repro.simnet.reliable.ReliableTransport` (ACKs,
+        exponential-backoff retransmission, bounded attempts); the ACK
+        and retransmission overhead is honestly traced.
+    transport_opts:
+        Keyword overrides for the :class:`ReliableTransport`
+        (``base_rto_ms``, ``backoff``, ``max_attempts``).
     """
 
     def __init__(
@@ -151,6 +162,8 @@ class Network:
         bandwidth_bps: float | None = None,
         serialize_uplink: bool = False,
         bus: EventBus | None = None,
+        transport: str = "fire_and_forget",
+        transport_opts: dict | None = None,
     ) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError("loss_rate must be in [0, 1)")
@@ -158,6 +171,9 @@ class Network:
             raise ValueError("bandwidth must be positive")
         if serialize_uplink and bandwidth_bps is None:
             raise ValueError("serialize_uplink requires a bandwidth")
+        check_transport(transport)
+        if transport_opts and transport != "reliable":
+            raise ValueError("transport_opts requires transport='reliable'")
         self.sim = sim
         self.latency = latency if latency is not None else FixedLatency()
         self.rng = rng if rng is not None else np.random.default_rng(0)
@@ -167,6 +183,16 @@ class Network:
         self.trace.attach(self.bus)
         self.bandwidth_bps = bandwidth_bps
         self.serialize_uplink = serialize_uplink
+        self.transport_mode = transport
+        self.reliable: Optional[ReliableTransport] = (
+            ReliableTransport(self, **(transport_opts or {}))
+            if transport == "reliable" else None
+        )
+        #: optional god's-eye fault oracle installed by an armed chaos
+        #: schedule (see :meth:`repro.chaos.FaultSchedule.arm`); when
+        #: present, protocol-level failure detectors may ask it whether a
+        #: crashed node has a recovery still pending.
+        self.fault_oracle: Any = None
         self._uplink_free: Dict[int, float] = {}
         self._nodes: Dict[int, Any] = {}
         self._crashed: set[int] = set()
@@ -267,6 +293,27 @@ class Network:
             obs.emit("net.partition", t_ms=self.sim.now, healed=False,
                      groups=[list(g) for g in groups])
 
+    def set_loss_rate(self, loss_rate: float) -> None:
+        """Change the message-loss probability (chaos ``LossWindow``)."""
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.loss_rate = loss_rate
+        obs = _obs.OBS
+        if obs.enabled:
+            obs.emit("net.loss_rate", t_ms=self.sim.now, rate=loss_rate)
+
+    def may_recover(self, node_id: int) -> bool:
+        """Whether a crashed node has a recovery still scheduled.
+
+        Without an armed chaos schedule crashes are permanent (the seed
+        semantics of ``crash_at``), so the answer is ``False`` unless a
+        fault oracle says otherwise.
+        """
+        oracle = self.fault_oracle
+        if oracle is None:
+            return False
+        return bool(oracle.may_recover(node_id, self.sim.now))
+
     def link_up(self, src: int, dst: int) -> bool:
         """Whether a message from ``src`` can currently reach ``dst``."""
         if self._fault_free:
@@ -291,11 +338,31 @@ class Network:
     ) -> None:
         """Send ``msg`` from ``src`` to ``dst`` with the modelled latency.
 
-        Delivery is skipped if either endpoint is crashed *at send or at
-        delivery time*, if the link is partitioned, or if the message is
-        lost.  ``size_bits`` feeds the communication-cost trace; control
-        messages may leave it at 0.
+        Under the default fire-and-forget transport, delivery is skipped
+        if either endpoint is crashed *at send or at delivery time*, if
+        the link is partitioned, or if the message is lost.  Under
+        ``transport="reliable"`` the message is framed, ACKed and
+        retransmitted (see :mod:`repro.simnet.reliable`) — the same
+        fault conditions apply to every physical attempt.  ``size_bits``
+        feeds the communication-cost trace; control messages may leave
+        it at 0.
         """
+        if self.reliable is not None:
+            if dst not in self._nodes:
+                raise KeyError(f"unknown destination node {dst}")
+            self.reliable.send(src, dst, msg, size_bits, kind)
+            return
+        self.physical_send(src, dst, msg, size_bits=size_bits, kind=kind)
+
+    def physical_send(
+        self,
+        src: int,
+        dst: int,
+        msg: Any,
+        size_bits: float = 0.0,
+        kind: str = "msg",
+    ) -> None:
+        """One physical transmission attempt (no transport semantics)."""
         if dst not in self._nodes:
             raise KeyError(f"unknown destination node {dst}")
         if not self.link_up(src, dst):
@@ -335,9 +402,25 @@ class Network:
                     "net_bits_total", "Delivered bits by kind.",
                     labels=("kind",),
                 ).labels(kind=kind).inc(size_bits)
-            self._nodes[dst].deliver(src, msg)
+            self.deliver_to_node(src, dst, msg)
 
         self.sim.schedule(delay, deliver)
+
+    def deliver_to_node(self, src: int, dst: int, msg: Any) -> None:
+        """Hand an arrived message to its destination actor.
+
+        Transport frames are unwrapped first: data frames are ACKed and
+        de-duplicated by the reliable channel, ACKs terminate pending
+        retransmissions.  Plain messages go straight to the node.
+        """
+        if self.reliable is not None:
+            if isinstance(msg, DataFrame):
+                self.reliable.on_frame(src, dst, msg)
+                return
+            if isinstance(msg, AckFrame):
+                self.reliable.on_ack(src, dst, msg)
+                return
+        self._nodes[dst].deliver(src, msg)
 
     def _drop(self, src: int, dst: int, kind: str, size_bits: float,
               reason: str, silent: bool = False) -> None:
@@ -358,9 +441,9 @@ class Network:
             obs.emit("net.drop", t_ms=self.sim.now, node=src, dst=dst,
                      kind=kind, bits=size_bits, reason=reason)
             obs.metrics.counter(
-                "net_dropped_total", "Dropped messages by reason.",
-                labels=("reason",),
-            ).labels(reason=reason).inc()
+                "net_dropped_total", "Dropped messages by reason and kind.",
+                labels=("reason", "kind"),
+            ).labels(reason=reason, kind=kind).inc()
 
     def broadcast(
         self,

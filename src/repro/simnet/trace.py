@@ -47,8 +47,10 @@ class TraceRecorder:
         self.records: list[MessageRecord] = []
         self._bits_by_kind: dict[str, float] = defaultdict(float)
         self._msgs_by_kind: dict[str, int] = defaultdict(int)
+        self._dropped_by_kind: dict[str, int] = defaultdict(int)
         self.total_bits = 0.0
         self.total_messages = 0
+        self.total_dropped = 0
 
     def record(self, rec: MessageRecord) -> None:
         if self.keep_records:
@@ -58,6 +60,9 @@ class TraceRecorder:
             self._msgs_by_kind[rec.kind] += 1
             self.total_bits += rec.bits
             self.total_messages += 1
+        else:
+            self._dropped_by_kind[rec.kind] += 1
+            self.total_dropped += 1
 
     def attach(self, bus: "EventBus") -> None:
         """Subscribe to a network's message-record plane."""
@@ -86,6 +91,17 @@ class TraceRecorder:
             )
         return self.total_messages
 
+    def dropped(self, kind: str | None = None) -> int:
+        """Number of undelivered messages, optionally filtered by kind.
+
+        Counts every drop the network reported a :class:`MessageRecord`
+        for (link down at send time, or random loss) — the previously
+        invisible failure path of the ``loss_rate`` machinery.
+        """
+        if kind is not None:
+            return self._dropped_by_kind.get(kind, 0)
+        return self.total_dropped
+
     def kinds(self) -> Iterator[str]:
         return iter(sorted(self._bits_by_kind))
 
@@ -98,8 +114,10 @@ class TraceRecorder:
         self.records.clear()
         self._bits_by_kind.clear()
         self._msgs_by_kind.clear()
+        self._dropped_by_kind.clear()
         self.total_bits = 0.0
         self.total_messages = 0
+        self.total_dropped = 0
 
     def merge(self, others: Iterable["TraceRecorder"]) -> None:
         """Fold aggregate counters of ``others`` into this recorder."""
@@ -108,7 +126,10 @@ class TraceRecorder:
                 self._bits_by_kind[k] += v
             for k, c in other._msgs_by_kind.items():
                 self._msgs_by_kind[k] += c
+            for k, c in other._dropped_by_kind.items():
+                self._dropped_by_kind[k] += c
             self.total_bits += other.total_bits
             self.total_messages += other.total_messages
+            self.total_dropped += other.total_dropped
             if self.keep_records:
                 self.records.extend(other.records)

@@ -196,6 +196,113 @@ def subgroup_follower_crash_trial(
     )
 
 
+@dataclass(frozen=True)
+class ChaosRaftReport:
+    """Invariant verdicts for one chaos-injected Raft deployment."""
+
+    plan: str
+    #: at most one leader elected per (layer, group, term) — Raft's
+    #: election-safety property, checked over the full event history.
+    election_safety_ok: bool
+    #: every layer found a leader again after the faults subsided.
+    restabilized: bool
+    #: leadership changes observed while the schedule was live.
+    elections_during_faults: int
+    violations: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.election_safety_ok and self.restabilized
+
+
+def check_election_safety(events: list[SystemEvent]) -> list[str]:
+    """At most one leader per term, per Raft group (sub layers + fed)."""
+    seen: dict[tuple, int] = {}
+    violations: list[str] = []
+    for event in events:
+        if event.kind == "sub_leader":
+            key = ("sub", event.group, event.term)
+        elif event.kind == "fed_leader":
+            key = ("fed", None, event.term)
+        else:
+            continue
+        prior = seen.setdefault(key, event.peer)
+        if prior != event.peer:
+            layer, group, term = key
+            violations.append(
+                f"two leaders in {layer} group {group} term {term}:"
+                f" peers {prior} and {event.peer}"
+            )
+    return violations
+
+
+def chaos_raft_trial(
+    seed: int,
+    schedule,
+    timeout_base_ms: float = 50.0,
+    settle_ms: float = 1_000.0,
+    recovery_ms: float = 30_000.0,
+    **system_kw,
+) -> ChaosRaftReport:
+    """Run a :class:`repro.chaos.FaultSchedule` against a stabilized
+    two-layer Raft deployment and check its safety/liveness invariants.
+
+    Safety: election safety must hold across the whole run (crashes,
+    partitions, loss and stragglers included).  Liveness: once the
+    schedule's last effect has passed and permanently-crashed peers are
+    excluded, every subgroup with a quorum and the FedAvg layer must
+    elect leaders again within ``recovery_ms``.
+    """
+    system = _default_system(seed, timeout_base_ms, **system_kw)
+    system.stabilize()
+    system.run_for(settle_ms)
+
+    t0 = system.sim.now
+    events_before = len(system.events)
+    system.apply_schedule(schedule)
+    system.run_for(schedule.end_ms() + timeout_base_ms)
+    elections_during = sum(
+        1 for e in system.events[events_before:]
+        if e.kind in ("sub_leader", "fed_leader")
+    )
+
+    # Liveness: give the survivors time to re-elect.  Subgroups that
+    # lost their quorum to permanent crashes are exempt — no minority
+    # can (or should) elect a leader.
+    deadline = system.sim.now + recovery_ms
+    down = schedule.crashed_nodes()
+
+    def _quorate(gi: int) -> bool:
+        group = system.topology.groups[gi]
+        return sum(1 for p in group if p not in down) > len(group) // 2
+
+    def _recovered() -> bool:
+        if system.fed_leader() is None:
+            return False
+        return all(
+            system.subgroup_leader(gi) is not None
+            for gi in range(system.topology.n_groups)
+            if _quorate(gi)
+        )
+
+    restabilized = False
+    while system.sim.now < deadline:
+        if _recovered():
+            restabilized = True
+            break
+        system.run_for(10.0)
+    restabilized = restabilized or _recovered()
+
+    violations = tuple(check_election_safety(system.events))
+    return ChaosRaftReport(
+        plan=schedule.describe(),
+        election_safety_ok=not violations,
+        restabilized=restabilized,
+        elections_during_faults=elections_during,
+        violations=violations,
+    )
+
+
 def run_trials(
     trial_fn: Callable[..., RecoveryTimes],
     n_trials: int,

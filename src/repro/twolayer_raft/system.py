@@ -161,13 +161,18 @@ class TwoLayerRaftSystem:
         pre_election_wait: bool = True,
         heartbeat_interval_ms: float | None = None,
         remove_replaced_leaders: bool = False,
+        loss_rate: float = 0.0,
+        transport: str = "fire_and_forget",
+        transport_opts: dict | None = None,
     ) -> None:
         self.topology = topology
         self.sim = Simulator()
         self.rng = np.random.default_rng(seed)
         self.trace = TraceRecorder()
         self.network = Network(
-            self.sim, latency=FixedLatency(delay_ms), rng=self.rng, trace=self.trace
+            self.sim, latency=FixedLatency(delay_ms), rng=self.rng,
+            trace=self.trace, loss_rate=loss_rate,
+            transport=transport, transport_opts=transport_opts,
         )
         self.timing = RaftTiming(
             timeout_base_ms=timeout_base_ms,
@@ -410,6 +415,16 @@ class TwoLayerRaftSystem:
     # -------------------------------------------------------------- controls
     def run_for(self, ms: float) -> None:
         self.sim.run_until(self.sim.now + ms)
+
+    def apply_schedule(self, schedule) -> None:
+        """Arm a :class:`repro.chaos.FaultSchedule` starting *now*.
+
+        Schedules are authored with ``t=0`` as the injection origin;
+        they are shifted to the current virtual time so the system can
+        stabilize first and the faults land on a running deployment.
+        """
+        schedule.validate_nodes(self.peers)
+        schedule.shifted(self.sim.now).arm(self.sim, self.network)
 
     def crash(self, peer_id: int) -> None:
         self.network.crash(peer_id)

@@ -1,0 +1,208 @@
+"""Unit tests for fault schedules, their validation, and arming."""
+
+import numpy as np
+import pytest
+
+from repro.chaos import (
+    PROFILES,
+    ChaosPlan,
+    Crash,
+    DelaySpike,
+    FaultSchedule,
+    LossWindow,
+    PartitionWindow,
+    Recover,
+)
+from repro.simnet import FixedLatency, Network, SimNode, Simulator
+
+
+class Silent(SimNode):
+    def on_message(self, src, msg):
+        pass
+
+
+def make_net(n=4, loss_rate=0.0):
+    sim = Simulator()
+    network = Network(
+        sim, latency=FixedLatency(10.0), rng=np.random.default_rng(0),
+        loss_rate=loss_rate,
+    )
+    for i in range(n):
+        Silent(i, sim, network)
+    return sim, network
+
+
+class TestEventValidation:
+    def test_windows_need_positive_span(self):
+        with pytest.raises(ValueError):
+            LossWindow(10.0, 10.0, 0.5)
+        with pytest.raises(ValueError):
+            PartitionWindow(20.0, 10.0, ((0,), (1,)))
+        with pytest.raises(ValueError):
+            DelaySpike(10.0, 5.0, 30.0)
+
+    def test_loss_rate_bounds(self):
+        with pytest.raises(ValueError):
+            LossWindow(0.0, 10.0, 0.0)
+        with pytest.raises(ValueError):
+            LossWindow(0.0, 10.0, 1.0)
+
+    def test_partition_needs_two_groups(self):
+        with pytest.raises(ValueError):
+            PartitionWindow(0.0, 10.0, ((0, 1),))
+
+    def test_spike_delay_positive(self):
+        with pytest.raises(ValueError):
+            DelaySpike(0.0, 10.0, 0.0)
+
+
+class TestScheduleValidation:
+    def test_events_sorted_by_start_time(self):
+        sched = FaultSchedule([Recover(50.0, 1), Crash(10.0, 1)])
+        assert isinstance(sched.events[0], Crash)
+
+    def test_double_crash_rejected(self):
+        with pytest.raises(ValueError, match="crashed twice"):
+            FaultSchedule([Crash(10.0, 1), Crash(20.0, 1)])
+
+    def test_crash_recover_crash_is_fine(self):
+        FaultSchedule([Crash(10.0, 1), Recover(20.0, 1), Crash(30.0, 1)])
+
+    def test_recover_without_crash_rejected(self):
+        with pytest.raises(ValueError, match="without a prior crash"):
+            FaultSchedule([Recover(20.0, 1)])
+
+    def test_overlapping_loss_windows_rejected(self):
+        with pytest.raises(ValueError, match="overlapping"):
+            FaultSchedule([
+                LossWindow(0.0, 50.0, 0.2), LossWindow(40.0, 90.0, 0.3),
+            ])
+
+    def test_inspection_helpers(self):
+        sched = FaultSchedule([
+            Crash(10.0, 1), Recover(60.0, 1), Crash(20.0, 2),
+            LossWindow(0.0, 80.0, 0.2),
+            DelaySpike(30.0, 90.0, 25.0, nodes=(3,)),
+        ])
+        assert {c.node for c in sched.crashes()} == {1, 2}
+        assert sched.crashed_nodes() == frozenset({2})  # 1 recovered
+        assert sched.touched_nodes() == frozenset({1, 2, 3})
+        assert sched.end_ms() == 90.0
+        assert "crash(1)@10" in sched.describe()
+        sched.validate_nodes(range(4))
+        with pytest.raises(ValueError, match="unknown nodes"):
+            sched.validate_nodes(range(3))
+
+    def test_shifted_translates_everything(self):
+        sched = FaultSchedule([
+            Crash(10.0, 1), LossWindow(0.0, 80.0, 0.2),
+        ]).shifted(100.0)
+        assert sched.end_ms() == 180.0
+        assert sched.crashes()[0].t_ms == 110.0
+
+    def test_empty_schedule_describes_itself(self):
+        assert FaultSchedule([]).describe() == "(fault-free)"
+
+
+class TestArming:
+    def test_crash_and_recover_fire_at_their_times(self):
+        sim, network = make_net()
+        FaultSchedule([Crash(10.0, 1), Recover(50.0, 1)]).arm(sim, network)
+        sim.run_until(20.0)
+        assert network.is_crashed(1)
+        sim.run_until(60.0)
+        assert not network.is_crashed(1)
+
+    def test_loss_window_restores_prior_rate(self):
+        sim, network = make_net(loss_rate=0.05)
+        FaultSchedule([LossWindow(10.0, 50.0, 0.4)]).arm(sim, network)
+        sim.run_until(20.0)
+        assert network.loss_rate == 0.4
+        sim.run_until(60.0)
+        assert network.loss_rate == 0.05
+
+    def test_partition_window_heals(self):
+        sim, network = make_net()
+        FaultSchedule([
+            PartitionWindow(10.0, 50.0, ((0, 1), (2, 3))),
+        ]).arm(sim, network)
+        sim.run_until(20.0)
+        assert not network.link_up(0, 2)
+        assert network.link_up(0, 1)
+        sim.run_until(60.0)
+        assert network.link_up(0, 2)
+
+    def test_delay_spike_slows_affected_nodes_then_restores(self):
+        sim, network = make_net()
+        base = network.latency
+        FaultSchedule([DelaySpike(10.0, 50.0, 25.0, nodes=(2,))]).arm(
+            sim, network
+        )
+        sim.run_until(20.0)
+        rng = np.random.default_rng(0)
+        assert network.latency.sample(2, 0, rng) == 35.0  # affected src
+        assert network.latency.sample(0, 2, rng) == 35.0  # affected dst
+        assert network.latency.sample(0, 1, rng) == 10.0  # untouched pair
+        sim.run_until(60.0)
+        assert network.latency is base
+
+    def test_armed_schedule_is_the_fault_oracle(self):
+        sim, network = make_net()
+        FaultSchedule([Crash(10.0, 1), Recover(50.0, 1)]).arm(sim, network)
+        sim.run_until(20.0)
+        assert network.may_recover(1)       # recovery still pending
+        sim.run_until(60.0)
+        assert not network.may_recover(1)   # already happened
+
+    def test_without_oracle_crashes_are_permanent(self):
+        sim, network = make_net()
+        network.crash(1)
+        assert not network.may_recover(1)
+
+
+class TestChaosPlan:
+    def test_sampling_is_deterministic_in_the_seed(self):
+        a = ChaosPlan.sample(
+            np.random.default_rng(42), "mixed", nodes=range(8), protected=(0,)
+        )
+        b = ChaosPlan.sample(
+            np.random.default_rng(42), "mixed", nodes=range(8), protected=(0,)
+        )
+        assert a.schedule.describe() == b.schedule.describe()
+
+    def test_protected_nodes_never_crash_straggle_or_get_cut_off(self):
+        protected = {0, 4}
+        for seed in range(20):
+            plan = ChaosPlan.sample(
+                np.random.default_rng(seed), "mixed",
+                nodes=range(8), protected=protected,
+            )
+            for event in plan.schedule.events:
+                if isinstance(event, (Crash, Recover)):
+                    assert event.node not in protected
+                elif isinstance(event, DelaySpike):
+                    assert not set(event.nodes) & protected
+                elif isinstance(event, PartitionWindow):
+                    # all protected nodes stay together (majority side)
+                    majority = set(event.groups[0])
+                    assert protected <= majority
+
+    def test_max_crashes_caps_permanent_crashes(self):
+        for seed in range(20):
+            plan = ChaosPlan.sample(
+                np.random.default_rng(seed), "crashes",
+                nodes=range(8), max_crashes=2,
+            )
+            assert len(plan.schedule.crashed_nodes()) <= 2
+
+    def test_every_profile_samples_a_valid_schedule(self):
+        for name in PROFILES:
+            plan = ChaosPlan.sample(
+                np.random.default_rng(1), name, nodes=range(6)
+            )
+            assert plan.profile == name
+            plan.schedule.validate_nodes(range(6))
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos profile"):
+            ChaosPlan.sample(np.random.default_rng(0), "nope", nodes=range(4))
