@@ -12,6 +12,7 @@ optionally dumps the raw series to CSV::
     python -m repro bench --bench-out BENCH_suite.json
     python -m repro bench --compare OLD.json NEW.json
     python -m repro chaos --plans 25
+    python -m repro serve-metrics --metrics-port 9100
 
 ``trace`` runs the failover + wire-round observability scenario and
 writes a JSONL event log, a Prometheus metrics dump, and a Chrome
@@ -28,6 +29,12 @@ any regression — the gate future perf PRs cite for before/after numbers.
 against the SAC, two-layer and Raft stacks and prints the
 pass/degrade/fail matrix; it exits non-zero iff any trial violates a
 safety invariant (see ``docs/robustness.md``).
+
+``serve-metrics`` runs a live chaos campaign with the full
+observability stack attached — causal tracing, per-link telemetry, a
+flight recorder — and serves ``/metrics`` (Prometheus) and ``/status``
+(JSON) over HTTP while it runs.  ``--metrics-port`` also works on any
+other figure command to expose that run's metrics live.
 """
 
 from __future__ import annotations
@@ -51,7 +58,7 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=[
             "env", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
             "fig12", "fig13", "fig14", "multilayer", "all", "report",
-            "plan", "trace", "bench", "chaos",
+            "plan", "trace", "bench", "chaos", "serve-metrics",
         ],
         help="which table/figure to regenerate ('report' writes everything "
         "to a markdown file; 'plan' runs the deployment planner; 'trace' "
@@ -59,7 +66,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "artifacts; 'bench' runs the profiled benchmark suite or, with "
         "--compare, gates two BENCH artifacts against each other; 'chaos' "
         "runs seeded fault-injection campaigns and exits non-zero on any "
-        "safety violation)",
+        "safety violation; 'serve-metrics' runs a live chaos campaign "
+        "serving /metrics and /status over HTTP)",
     )
     parser.add_argument("--out", default="report.md",
                         help="output path for 'report'")
@@ -132,7 +140,24 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="'chaos': transport for the SAC/two-layer "
                         "trials (default: reliable)")
     parser.add_argument("--seed0", type=int, default=0,
-                        help="'chaos': first plan seed (default: 0)")
+                        help="'chaos'/'serve-metrics': first plan seed "
+                        "(default: 0)")
+    parser.add_argument("--metrics-port", type=int, default=None,
+                        help="serve /metrics and /status on this port while "
+                        "the command runs (0 = ephemeral; default for "
+                        "'serve-metrics': 0)")
+    parser.add_argument("--serve-host", default="127.0.0.1",
+                        help="'serve-metrics'/--metrics-port: bind address "
+                        "(default: 127.0.0.1)")
+    parser.add_argument("--serve-rounds", type=int, default=12,
+                        help="'serve-metrics': chaos rounds to run while "
+                        "serving (default: 12)")
+    parser.add_argument("--serve-interval", type=float, default=0.2,
+                        help="'serve-metrics': pause between rounds in "
+                        "seconds, the scrape window (default: 0.2)")
+    parser.add_argument("--incident-dir", default="incident_out",
+                        help="'serve-metrics': flight-recorder incident "
+                        "dump directory (default: incident_out)")
     return parser
 
 
@@ -199,6 +224,76 @@ def _run_chaos(args: argparse.Namespace) -> int:
     return 1 if any(r.failed for r in reports) else 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """A live chaos campaign with the full observability stack attached."""
+    import time
+
+    import numpy as np
+
+    from .chaos.plan import PROFILES, ChaosPlan
+    from .chaos.runner import TRIAL_TRANSPORT_OPTS
+    from .core.topology import Topology
+    from .core.wire_round import run_two_layer_wire_round
+    from .obs import runtime as _runtime
+    from .obs.serve import MetricsServer, StatusBoard
+
+    n_peers, group_size, k = 12, 4, 3
+    topology = Topology.by_group_size(n_peers, group_size)
+    max_crashes = max(0, min(len(g) for g in topology.groups) - k)
+    profiles = list(PROFILES)
+    port = args.metrics_port if args.metrics_port is not None else 0
+
+    with _runtime.observe(causal=True) as obs:
+        board = StatusBoard().attach(obs.bus)
+        link = obs.attach_link()
+        flight = obs.attach_flight(out_dir=args.incident_dir)
+        server = MetricsServer(
+            metrics=obs.metrics, status=board, link=link,
+            host=args.serve_host, port=port,
+        ).start()
+        log.info("serving %s/metrics and %s/status", server.url, server.url)
+        try:
+            for i in range(args.serve_rounds):
+                seed = args.seed0 + i
+                profile = profiles[i % len(profiles)]
+                rng = np.random.default_rng([seed, 0xC4A15])
+                plan = ChaosPlan.sample(
+                    rng, profile, nodes=range(n_peers),
+                    protected=topology.leaders, max_crashes=max_crashes,
+                )
+                models = [
+                    np.random.default_rng([seed, p]).normal(size=64)
+                    for p in range(n_peers)
+                ]
+                result = run_two_layer_wire_round(
+                    topology, models, k=k, seed=seed, schedule=plan.schedule,
+                    transport="reliable",
+                    transport_opts=dict(TRIAL_TRANSPORT_OPTS),
+                    round_timeout_ms=8_000.0,
+                    trace_id=f"round{i}:s{seed}",
+                )
+                link.publish(obs.metrics)
+                log.info(
+                    "round %d/%d [%s] %s -> %s", i + 1, args.serve_rounds,
+                    profile, plan.schedule.describe(), result.outcome.status,
+                )
+                if args.serve_interval > 0:
+                    time.sleep(args.serve_interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            log.info("interrupted; shutting down")
+        finally:
+            server.stop()
+        print(
+            f"served {board.events_seen} events over "
+            f"{board.rounds_completed + board.rounds_failed} round(s): "
+            f"{board.rounds_completed} completed, "
+            f"{board.rounds_failed} failed, "
+            f"{len(flight.incidents)} incident dump(s)"
+            + (f" in {args.incident_dir}" if flight.incidents else "")
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     set_level(args.log_level)
@@ -208,6 +303,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.figure == "chaos":
         return _run_chaos(args)
+
+    if args.figure == "serve-metrics":
+        return _run_serve(args)
 
     if args.figure == "trace":
         from .obs.scenario import run_trace_scenario
@@ -222,9 +320,21 @@ def main(argv: list[str] | None = None) -> int:
     from .obs import runtime as _runtime
 
     # Any other figure: optionally capture events/metrics as a side effect.
-    capture = any((args.events_out, args.metrics_out, args.trace_out))
+    capture = (
+        any((args.events_out, args.metrics_out, args.trace_out))
+        or args.metrics_port is not None
+    )
     ctx = _runtime.observe() if capture else None
     obs = ctx.__enter__() if ctx is not None else None
+    server = None
+    if obs is not None and args.metrics_port is not None:
+        from .obs.serve import MetricsServer
+
+        server = MetricsServer(
+            metrics=obs.metrics, host=args.serve_host,
+            port=args.metrics_port,
+        ).start()
+        log.info("metrics live at %s/metrics", server.url)
 
     try:
         if args.figure == "report":
@@ -337,6 +447,8 @@ def main(argv: list[str] | None = None) -> int:
             print()
         return 0
     finally:
+        if server is not None:
+            server.stop()
         if ctx is not None:
             ctx.__exit__(None, None, None)
             if args.events_out:

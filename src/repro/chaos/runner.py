@@ -24,6 +24,7 @@ import numpy as np
 
 from ..core.topology import Topology
 from ..core.wire_round import run_two_layer_wire_round
+from ..obs import runtime as _obs
 from ..secure.protocol import run_sac_protocol
 from ..twolayer_raft.scenarios import chaos_raft_trial
 from .invariants import check_liveness, check_safety
@@ -55,6 +56,15 @@ class TrialReport:
 def _grade(result, reference) -> tuple[str, str]:
     safety = check_safety(result, reference)
     if not safety.ok:
+        obs = _obs.OBS
+        if obs.enabled:
+            # The flight recorder triggers on this: a safety violation
+            # is the one outcome that must never happen, so the events
+            # leading up to it are dumped for the post-mortem.
+            obs.emit(
+                "chaos.safety_violation", t_ms=None,
+                outcome=result.outcome.status, detail=safety.detail,
+            )
         return "fail", f"SAFETY: {safety.detail}"
     if result.outcome.ok:
         return "pass", safety.detail

@@ -34,6 +34,7 @@ from typing import Iterable, Union
 
 import numpy as np
 
+from ..obs import runtime as _obs
 from ..simnet import Network, Simulator
 from ..simnet.network import LatencyModel
 
@@ -267,6 +268,14 @@ class FaultSchedule:
         crashes from ones with a recovery pending.
         """
         armed = ArmedSchedule(schedule=self, sim=sim, network=network)
+        obs = _obs.OBS
+        if obs.enabled:
+            # node=None instant: visible on /status ("armed_chaos")
+            # without perturbing per-node profiles or straggler joins.
+            obs.emit(
+                "chaos.armed", t_ms=sim.now, node=None,
+                description=self.describe(), faults=len(self.events),
+            )
         for event in self.events:
             if isinstance(event, Crash):
                 sim.schedule_at(

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Optional, Sequence
 import numpy as np
 
 from ..fl.fedavg import fedavg
+from ..obs import causal as _causal
 from ..obs import runtime as _obs
 from ..par import SubgroupTask, check_parallel_mode, run_jobs, run_subgroup_round
 from ..secure.protocol import (
@@ -310,6 +311,7 @@ def run_two_layer_wire_round(
     transport: str = "fire_and_forget",
     transport_opts: dict | None = None,
     schedule: "FaultSchedule | None" = None,
+    trace_id: str | None = None,
 ) -> WireRoundResult:
     """Execute one full two-layer aggregation round as network actors.
 
@@ -363,7 +365,7 @@ def run_two_layer_wire_round(
             bandwidth_bps=bandwidth_bps,
             subtotal_timeout_ms=subtotal_timeout_ms,
             round_timeout_ms=round_timeout_ms, share_codec=share_codec,
-            parallel=parallel, crash_at=crash_at,
+            parallel=parallel, crash_at=crash_at, trace_id=trace_id,
         )
     sim = Simulator()
     rng = np.random.default_rng(seed)
@@ -373,6 +375,9 @@ def run_two_layer_wire_round(
         loss_rate=loss_rate,
         bandwidth_bps=bandwidth_bps, serialize_uplink=serialize_uplink,
         transport=transport, transport_opts=transport_opts,
+    )
+    network.trace_id = (
+        trace_id if trace_id is not None else f"two_layer:s{seed}"
     )
     ctx = _RoundContext(
         fed_leader=topology.leaders[0],
@@ -504,6 +509,7 @@ def _run_parallel_round(
     share_codec: str,
     parallel: str,
     crash_at: dict[int, float],
+    trace_id: str | None = None,
 ) -> WireRoundResult:
     """Parallel variant: subgroup SACs fan out, the fed layer replays.
 
@@ -523,6 +529,8 @@ def _run_parallel_round(
         sim, latency=FixedLatency(delay_ms), rng=rng, trace=trace,
         bandwidth_bps=bandwidth_bps,
     )
+    tid = trace_id if trace_id is not None else f"two_layer:s{seed}"
+    network.trace_id = tid
     ctx = _RoundContext(
         fed_leader=topology.leaders[0],
         leaders=tuple(topology.leaders),
@@ -566,6 +574,7 @@ def _run_parallel_round(
                 crash_at=tuple(
                     (pid, crash_at[pid]) for pid in group if pid in crash_at
                 ),
+                trace_id=tid,
             )
         )
 
@@ -579,10 +588,17 @@ def _run_parallel_round(
         outcomes = run_jobs(run_subgroup_round, tasks, parallel)
         for outcome, leader_peer in zip(outcomes, leader_peers):
             if outcome.average is not None:
-                sim.schedule(
-                    outcome.finish_time_ms,
-                    lambda p=leader_peer, a=outcome.average: p.on_average(a),
-                )
+                def _replay(p=leader_peer, a=outcome.average,
+                            c=outcome.finish_ctx):
+                    # Re-activate the worker's final SAC delivery as the
+                    # causal parent, so the fed-layer upload chains to
+                    # it exactly as on the sequential path.
+                    if c is not None:
+                        with _causal.use(c):
+                            p.on_average(a)
+                    else:
+                        p.on_average(a)
+                sim.schedule(outcome.finish_time_ms, _replay)
         for pid, t in crash_at.items():
             # The worker already simulated (and reported) this crash; the
             # parent replays it quietly so fed-layer sends to the dead

@@ -18,7 +18,16 @@ This package is that instrumentation as a first-class subsystem:
 - :mod:`.prof` — phase-attributed profiler over the span stream: call
   tree with self/total time, per-phase byte counts, straggler stats;
 - :mod:`.bench` — the canonical benchmark suite, the versioned BENCH
-  artifact schema, and the ``--compare`` regression gate.
+  artifact schema, and the ``--compare`` regression gate;
+- :mod:`.causal` — trace contexts attached to every simnet message
+  (``observe(causal=True)``), the causal DAG they form, and the
+  critical-path extractor over it;
+- :mod:`.link` — per-(src, dst) EWMA/windowed latency, loss, and
+  retransmit estimators fed from the causal net events;
+- :mod:`.serve` — a stdlib HTTP ``/metrics`` + ``/status`` endpoint
+  (``python -m repro serve-metrics``, ``--metrics-port``);
+- :mod:`.flight` — a bounded flight-recorder ring that dumps the events
+  leading up to safety violations and typed failures.
 
 ``repro.obs.scenario`` (the ``python -m repro trace`` scenario) is
 imported lazily, not here, because it depends on ``repro.core``
@@ -37,19 +46,41 @@ from .bench import (
     write_artifact,
 )
 from .bus import Event, EventBus
+from .causal import (
+    CausalDag,
+    CriticalPath,
+    TraceContext,
+    build_dag,
+    critical_path,
+    critical_paths_by_trace,
+)
 from .export import (
     EventCollector,
     to_chrome_trace,
     write_chrome_trace,
     write_events_jsonl,
 )
+from .flight import FlightRecorder
+from .link import LinkStats, LinkTelemetry
 from .logging import ObsLogger, get_logger, set_level
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .prof import PhaseStats, ProfileReport, StragglerStats, profile_events
 from .runtime import Observability, get, install, observe, uninstall
+from .serve import MetricsServer, StatusBoard
 from .spans import NullSpan, Span
 
 __all__ = [
+    "CausalDag",
+    "CriticalPath",
+    "TraceContext",
+    "build_dag",
+    "critical_path",
+    "critical_paths_by_trace",
+    "LinkStats",
+    "LinkTelemetry",
+    "MetricsServer",
+    "StatusBoard",
+    "FlightRecorder",
     "compare_artifacts",
     "load_artifact",
     "run_suite",

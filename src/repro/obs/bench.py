@@ -685,18 +685,42 @@ def compare_artifacts(
 def format_compare_report(
     ok: bool, deltas: list[Delta], wall_tolerance: float = 1.5
 ) -> str:
-    """Readable delta report for the CLI."""
+    """Readable delta report for the CLI.
+
+    Wall-clock medians render as a per-scenario table (old / new /
+    ratio / verdict); sim-side and structural deltas — always
+    regressions when present — are listed individually below it.
+    """
     lines = [f"BENCH compare (wall tolerance {wall_tolerance:.2f}x)"]
+    walls = [d for d in deltas if d.metric == "wall_ms.median"]
+    others = [d for d in deltas if d.metric != "wall_ms.median"]
     regressions = [d for d in deltas if d.regression]
     infos = [d for d in deltas if not d.regression]
-    for d in regressions:
+
+    if walls:
+        width = max([len(d.scenario) for d in walls] + [8])
         lines.append(
-            f"  FAIL {d.scenario:<20} {d.metric:<40} "
-            f"{d.old!r} -> {d.new!r}  {d.note}"
+            f"  {'scenario':<{width}}  {'old med ms':>12}  "
+            f"{'new med ms':>12}  {'ratio':>7}  verdict"
         )
-    for d in infos:
+        for d in walls:
+            ratio = (
+                f"{d.new / d.old:>6.2f}x"
+                if _is_num(d.old) and _is_num(d.new) and d.old > 0
+                else f"{'?':>7}"
+            )
+            verdict = "FAIL" if d.regression else "ok"
+            row = (
+                f"  {d.scenario:<{width}}  {d.old:>12.2f}  "
+                f"{d.new:>12.2f}  {ratio}  {verdict}"
+            )
+            if d.regression:
+                row += f"  ({d.note})"
+            lines.append(row)
+    for d in others:
+        tag = "FAIL" if d.regression else "ok  "
         lines.append(
-            f"  ok   {d.scenario:<20} {d.metric:<40} "
+            f"  {tag} {d.scenario:<20} {d.metric:<40} "
             f"{d.old!r} -> {d.new!r}  {d.note}"
         )
     lines.append(

@@ -71,40 +71,58 @@ def write_events_jsonl(path: str, events: Iterable[Event]) -> str:
     return path
 
 
+#: span-carrying net events that anchor Chrome flow arrows: a message's
+#: send starts the flow (``ph: "s"``), each retransmission is a step
+#: (``"t"``), and the delivery terminates it (``"f"``).
+_FLOW_PHASES = {"net.send": "s", "net.retransmit": "t", "net.deliver": "f"}
+
+
 def to_chrome_trace(events: Sequence[Event]) -> dict:
     """Convert events to a Chrome ``trace_event`` JSON object.
 
     Mapping: category -> pid (one "process" per subsystem), node -> tid
     (one "thread" row per node; node-less events land on tid 0).
     Timestamps are microseconds as the format requires.
+
+    Determinism: pids are assigned from the *sorted* category set and
+    the output is sorted by timestamp (ties on bus ``seq``), so the
+    same event multiset always serializes to the same document and
+    large traces load deterministically in Perfetto.
+
+    Causal tracing (``observe(causal=True)``) adds flow events: every
+    span-carrying ``net.send``/``net.retransmit``/``net.deliver``
+    yields an extra ``ph: "s"/"t"/"f"`` record with ``id`` set to the
+    span id, so Perfetto draws an arrow from each send to its delivery.
     """
     wall0 = min((e.wall_s for e in events), default=0.0)
-    pids: dict[str, int] = {}
-    trace_events: list[dict] = []
+    categories = sorted({e.category for e in events})
+    pids = {cat: i for i, cat in enumerate(categories, start=1)}
+    meta = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": cat},
+        }
+        for cat, pid in pids.items()
+    ]
 
-    def pid_for(category: str) -> int:
-        pid = pids.get(category)
-        if pid is None:
-            pid = pids[category] = len(pids) + 1
-            trace_events.append({
-                "name": "process_name",
-                "ph": "M",
-                "pid": pid,
-                "tid": 0,
-                "args": {"name": category},
-            })
-        return pid
-
+    # (ts_us, seq, suborder, record): flow records sort right after the
+    # event that anchors them.
+    keyed: list[tuple[float, int, int, dict]] = []
     for event in events:
         if event.t_ms is not None:
             ts_us = event.t_ms * 1e3
         else:
             ts_us = (event.wall_s - wall0) * 1e6
+        pid = pids[event.category]
+        tid = event.node if event.node is not None else 0
         record = {
             "name": event.name,
             "cat": event.category,
-            "pid": pid_for(event.category),
-            "tid": event.node if event.node is not None else 0,
+            "pid": pid,
+            "tid": tid,
             "ts": round(ts_us, 3),
             "args": {
                 k: v for k, v in event.to_dict().items()
@@ -117,9 +135,33 @@ def to_chrome_trace(events: Sequence[Event]) -> dict:
         else:
             record["ph"] = "i"
             record["s"] = "t"
-        trace_events.append(record)
+        keyed.append((ts_us, event.seq, 0, record))
 
-    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+        span = event.fields.get("span")
+        flow_ph = _FLOW_PHASES.get(event.name)
+        if span is not None and flow_ph is not None:
+            flow = {
+                # Same name + cat for every phase of one flow id — the
+                # trace_event binding rule; the message kind is the one
+                # constant across send/retransmit/deliver.
+                "name": str(event.fields.get("kind", "msg")),
+                "cat": event.category,
+                "pid": pid,
+                "tid": tid,
+                "ts": round(ts_us, 3),
+                "ph": flow_ph,
+                "id": str(span),
+                "args": {},
+            }
+            if flow_ph == "f":
+                flow["bp"] = "e"  # bind to the enclosing slice's end
+            keyed.append((ts_us, event.seq, 1, flow))
+
+    keyed.sort(key=lambda item: item[:3])
+    return {
+        "traceEvents": meta + [rec for *_key, rec in keyed],
+        "displayTimeUnit": "ms",
+    }
 
 
 def write_chrome_trace(path: str, events: Sequence[Event]) -> str:

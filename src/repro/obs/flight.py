@@ -1,0 +1,147 @@
+"""Flight recorder: a bounded event ring that dumps on incidents.
+
+A long chaos campaign cannot keep every event of every round, but when
+something goes wrong the events *leading up to it* are exactly what a
+post-mortem needs.  :class:`FlightRecorder` subscribes to the bus,
+keeps the last ``capacity`` events in a ring, and when a trigger event
+arrives dumps an incident directory:
+
+- ``events.jsonl`` — the ring (the last-N events, trigger included);
+- ``metrics.prom`` — the Prometheus snapshot at dump time;
+- ``link_matrix.json`` — the per-link telemetry matrix (when attached);
+- ``manifest.json`` — trigger event, virtual time, counts.
+
+Triggers (all typed failures, never the happy path):
+
+- ``chaos.safety_violation`` — the chaos runner's aggregate-integrity
+  invariant failed (the one outcome that must never happen);
+- ``round.complete`` with ``completed=False`` — a typed round failure;
+- ``net.retransmit_exhausted`` — the reliable transport gave up on a
+  frame.
+
+Attach via :meth:`repro.obs.runtime.Observability.attach_flight`, which
+fills ``metrics``/``link`` from the pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from typing import Any, Deque, Iterable, Optional, Tuple
+
+from .bus import Event, EventBus
+from .export import _json_default
+from .metrics import MetricsRegistry
+
+__all__ = ["FlightRecorder", "DEFAULT_TRIGGERS"]
+
+#: event names that trigger an incident dump unconditionally.
+DEFAULT_TRIGGERS: Tuple[str, ...] = (
+    "chaos.safety_violation",
+    "net.retransmit_exhausted",
+)
+
+#: default ring capacity (events).
+DEFAULT_CAPACITY = 512
+#: default ceiling on dumps per recorder (a chaotic campaign must not
+#: fill the disk; suppressed incidents are counted in the manifest).
+DEFAULT_MAX_INCIDENTS = 16
+
+
+class FlightRecorder:
+    """Bounded ring of recent events + incident dumping."""
+
+    def __init__(
+        self,
+        out_dir: str = "incident_out",
+        capacity: int = DEFAULT_CAPACITY,
+        metrics: Optional[MetricsRegistry] = None,
+        link: Any = None,
+        triggers: Iterable[str] = DEFAULT_TRIGGERS,
+        max_incidents: int = DEFAULT_MAX_INCIDENTS,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.out_dir = out_dir
+        self.capacity = capacity
+        self.metrics = metrics
+        self.link = link
+        self.triggers = frozenset(triggers)
+        self.max_incidents = max_incidents
+        self.ring: Deque[Event] = deque(maxlen=capacity)
+        self.events_seen = 0
+        #: incident directories written, in order.
+        self.incidents: list = []
+        self.suppressed = 0
+
+    # ----------------------------------------------------------- subscription
+    def attach(self, bus: EventBus) -> "FlightRecorder":
+        bus.subscribe(self)
+        return self
+
+    def detach(self, bus: EventBus) -> None:
+        bus.unsubscribe(self)
+
+    def __call__(self, event: Event) -> None:
+        self.events_seen += 1
+        self.ring.append(event)
+        if self._is_trigger(event):
+            self.record_incident(event)
+
+    def _is_trigger(self, event: Event) -> bool:
+        if event.name in self.triggers:
+            return True
+        # A typed round failure: the round ended without completing.
+        return (
+            event.name == "round.complete"
+            and event.fields.get("completed") is False
+        )
+
+    # ------------------------------------------------------------------ dumps
+    def record_incident(self, event: Event) -> Optional[str]:
+        """Dump the ring + snapshots into a fresh incident directory."""
+        if len(self.incidents) >= self.max_incidents:
+            self.suppressed += 1
+            return None
+        stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+        trigger_slug = event.name.replace(".", "_")
+        inc_dir = os.path.join(
+            self.out_dir,
+            f"{stamp}-{len(self.incidents):03d}-{trigger_slug}",
+        )
+        os.makedirs(inc_dir, exist_ok=True)
+
+        events = list(self.ring)
+        with open(os.path.join(inc_dir, "events.jsonl"), "w") as fh:
+            for e in events:
+                fh.write(json.dumps(e.to_dict(), default=_json_default))
+                fh.write("\n")
+        if self.metrics is not None:
+            with open(os.path.join(inc_dir, "metrics.prom"), "w") as fh:
+                fh.write(self.metrics.render_prometheus())
+        if self.link is not None:
+            with open(os.path.join(inc_dir, "link_matrix.json"), "w") as fh:
+                json.dump(self.link.snapshot(), fh, default=_json_default,
+                          indent=2)
+        manifest = {
+            "trigger": event.to_dict(),
+            "ring_capacity": self.capacity,
+            "ring_events": len(events),
+            "events_seen": self.events_seen,
+            "incident_index": len(self.incidents),
+            "suppressed_so_far": self.suppressed,
+            "created_wall_s": time.time(),
+        }
+        with open(os.path.join(inc_dir, "manifest.json"), "w") as fh:
+            json.dump(manifest, fh, default=_json_default, indent=2)
+
+        self.incidents.append(inc_dir)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "flight_incidents_total",
+                "Flight-recorder incident dumps by trigger event.",
+                labels=("trigger",),
+            ).labels(trigger=event.name).inc()
+        return inc_dir

@@ -51,6 +51,9 @@ from .bus import Event
 #: events of the message plane that carry ``bits``/``kind`` fields.
 _DELIVER = "net.deliver"
 _DROP = "net.drop"
+#: causal-tracing send anchors (``observe(causal=True)``); excluded from
+#: the straggler join so causal and non-causal runs profile identically.
+_SEND = "net.send"
 
 
 @dataclass
@@ -277,7 +280,7 @@ def profile_events(events: Iterable[Event]) -> ProfileReport:
                 ))
         if e.name in (_DELIVER, _DROP) and e.t_ms is not None:
             messages.append(e)
-        if e.node is not None and e.t_ms is not None:
+        if e.node is not None and e.t_ms is not None and e.name != _SEND:
             activity.append((float(e.t_ms), e.node))
 
     roots = _build_tree(sim_spans)

@@ -50,11 +50,26 @@ class Observability:
     so the disabled path does no argument packing at all.
     """
 
-    def __init__(self, enabled: bool = True, keep_events: bool = True) -> None:
+    def __init__(
+        self,
+        enabled: bool = True,
+        keep_events: bool = True,
+        causal: bool = False,
+    ) -> None:
         self.enabled = enabled
+        #: opt-in causal tracing: when True (``observe(causal=True)``),
+        #: ``Network.send`` allocates a TraceContext per message and
+        #: emits span-carrying ``net.send`` events.  Off by default so
+        #: the baseline event stream (and the bench sim fingerprint)
+        #: is unchanged.
+        self.causal = bool(causal)
         self.bus = EventBus()
         self.metrics = MetricsRegistry()
         self.collector: Optional[EventCollector] = None
+        #: optional attached sinks (see :meth:`attach_link` /
+        #: :meth:`attach_flight`).
+        self.link = None
+        self.flight = None
         if enabled and keep_events:
             self.collector = EventCollector()
             self.bus.subscribe(self.collector)
@@ -116,6 +131,25 @@ class Observability:
     def write_prometheus(self, path: str) -> str:
         return write_text(path, self.metrics.render_prometheus())
 
+    # ------------------------------------------------------- attached sinks
+    def attach_link(self, **kwargs: Any):
+        """Attach a :class:`~repro.obs.link.LinkTelemetry` to this bus."""
+        from .link import LinkTelemetry  # lazy: keep import-time cost off
+
+        self.link = LinkTelemetry(**kwargs)
+        self.link.attach(self.bus)
+        return self.link
+
+    def attach_flight(self, **kwargs: Any):
+        """Attach a :class:`~repro.obs.flight.FlightRecorder` to this bus."""
+        from .flight import FlightRecorder  # lazy: keep import-time cost off
+
+        kwargs.setdefault("metrics", self.metrics)
+        kwargs.setdefault("link", self.link)
+        self.flight = FlightRecorder(**kwargs)
+        self.flight.attach(self.bus)
+        return self.flight
+
 
 class ThreadLocalObservability:
     """Routes ``OBS`` traffic to a per-thread pipeline.
@@ -157,6 +191,10 @@ class ThreadLocalObservability:
     @property
     def enabled(self) -> bool:
         return self._current().enabled
+
+    @property
+    def causal(self) -> bool:
+        return self._current().causal
 
     @property
     def bus(self) -> EventBus:

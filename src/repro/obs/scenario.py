@@ -65,7 +65,7 @@ def run_trace_scenario(
     rng = np.random.default_rng(seed)
     models = [rng.normal(size=MODEL_PARAMS) for _ in range(n_peers)]
 
-    with _runtime.observe() as obs:
+    with _runtime.observe(causal=True) as obs:
         # Phase 1 — Raft failover: crash a subgroup leader, re-elect.
         system = TwoLayerRaftSystem(topology, seed=seed)
         system.stabilize()
@@ -97,6 +97,13 @@ def run_trace_scenario(
                 crash_at={n_dropout - 1: 20.0},
             )
 
+        # Causal critical paths: the longest send->deliver chain per
+        # round.  For the clean wire round this must equal the round's
+        # simulated finish time exactly (tested in tests/obs).
+        from .causal import critical_paths_by_trace
+
+        paths = critical_paths_by_trace(obs.events)
+        wire_cp = paths.get(f"two_layer:s{seed}")
         elections = len(obs.events_named("raft.election.win"))
         drops = len(obs.events_named("net.drop"))
         summary = {
@@ -109,6 +116,12 @@ def run_trace_scenario(
             "dropout_round_completed": dropout.completed,
             "recovered_shares": list(dropout.recovered_shares),
             "events": len(obs.events),
+            "critical_path_ms": (
+                wire_cp.latency_ms if wire_cp is not None else None
+            ),
+            "critical_path_hops": (
+                len(wire_cp.hops) if wire_cp is not None else 0
+            ),
         }
         obs.emit("scenario.summary", t_ms=None, **summary)
 
@@ -123,6 +136,9 @@ def run_trace_scenario(
         "elections won: %d, messages dropped: %d, recovered shares: %s",
         elections, drops, summary["recovered_shares"],
     )
+    if wire_cp is not None:
+        log.info("wire-round critical path: %.1f ms over %d hops",
+                 wire_cp.latency_ms, len(wire_cp.hops))
     if bits_exact:
         log.info("wire-round traffic bit-exact: %.0f bits == closed form",
                  result.bits_sent)

@@ -52,16 +52,21 @@ class CollectedResult:
     metrics: dict
 
 
-def _call_collected(fn: Callable, item: Any, collect: bool) -> CollectedResult:
+def _call_collected(fn: Callable, item: Any, collect: bool,
+                    causal: bool = False) -> CollectedResult:
     """Run one job under a private observability pipeline.
 
     Works in all three execution contexts: in a worker *thread* the
     installed :class:`~repro.obs.runtime.ThreadLocalObservability` shim
     routes this thread's emissions to the private pipeline; in a worker
     *process* (or inline) the private pipeline is installed globally for
-    the duration of the call.
+    the duration of the call.  ``causal`` carries the parent pipeline's
+    causal-tracing flag into the worker so span-carrying events are
+    produced (or not) exactly as on the sequential path.
     """
-    obs = _runtime.Observability(enabled=collect, keep_events=collect)
+    obs = _runtime.Observability(
+        enabled=collect, keep_events=collect, causal=causal
+    )
     current = _runtime.get()
     if isinstance(current, _runtime.ThreadLocalObservability):
         current.push(obs)
@@ -115,8 +120,9 @@ def run_jobs(fn: Callable, items: Sequence[Any], mode: str) -> list:
     if isinstance(parent, _runtime.ThreadLocalObservability):
         raise RuntimeError("nested parallel fan-out is not supported")
     collect = parent.enabled
+    causal = bool(getattr(parent, "causal", False))
     calls = [
-        functools.partial(_call_collected, fn, item, collect)
+        functools.partial(_call_collected, fn, item, collect, causal)
         for item in items
     ]
     collected = _fan_out(calls, mode, parent)

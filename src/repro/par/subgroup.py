@@ -25,6 +25,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..obs.causal import TraceContext
 from ..secure.errors import SacReconstructionError
 from ..secure.fault_tolerant import FtSacResult, fault_tolerant_sac
 from ..secure.protocol import SacProtocolPeer
@@ -48,6 +49,8 @@ class SubgroupTask:
     round_timeout_ms: float
     #: ``(global peer id, crash time ms)`` pairs within this subgroup
     crash_at: tuple[tuple[int, float], ...] = ()
+    #: round trace id stamped on causal spans (matches the parent's)
+    trace_id: str = "trace"
 
 
 @dataclass(frozen=True)
@@ -62,6 +65,9 @@ class SubgroupOutcome:
     messages_sent: int
     bits_by_kind: dict
     dropped: int = 0
+    #: causal context of the delivery that completed the aggregate
+    #: (picklable; ``None`` when causal tracing is off)
+    finish_ctx: Optional[TraceContext] = None
 
 
 def run_subgroup_round(task: SubgroupTask) -> SubgroupOutcome:
@@ -82,6 +88,7 @@ def run_subgroup_round(task: SubgroupTask) -> SubgroupOutcome:
         rng=np.random.default_rng(0), trace=trace,
         bandwidth_bps=task.bandwidth_bps,
     )
+    network.trace_id = task.trace_id
     n = len(task.members)
     peers = []
     for pos, pid in enumerate(task.members):
@@ -114,6 +121,7 @@ def run_subgroup_round(task: SubgroupTask) -> SubgroupOutcome:
         messages_sent=trace.total_messages,
         bits_by_kind=trace.by_kind(),
         dropped=trace.total_dropped,
+        finish_ctx=leader_peer.finish_ctx,
     )
 
 

@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
+from ..obs import causal as _causal
 from ..obs import runtime as _obs
 from ..simnet import (
     LEADER_ISOLATED,
@@ -164,6 +165,10 @@ class SacProtocolPeer(SimNode):
         self.average: Optional[np.ndarray] = None
         self.finish_time: Optional[float] = None
         self._round_start: Optional[float] = None
+        #: causal context active when the round finished (the delivery
+        #: that completed the aggregate) — lets the parallel runner
+        #: re-parent the fed-layer upload on the worker's last SAC hop.
+        self.finish_ctx = None
 
     def _emit(self, name: str, **fields) -> None:
         _obs.OBS.emit(
@@ -303,6 +308,9 @@ class SacProtocolPeer(SimNode):
         total /= self.n
         self.average = total
         self.finish_time = self.sim.now
+        obs = _obs.OBS
+        if obs.enabled and obs.causal:
+            self.finish_ctx = _causal.current()
         if _obs.OBS.enabled:
             start = self._round_start or 0.0
             dur = self.sim.now - start
@@ -491,6 +499,7 @@ def run_sac_protocol(
     transport: str = "fire_and_forget",
     transport_opts: dict | None = None,
     schedule: "FaultSchedule | None" = None,
+    trace_id: str | None = None,
 ) -> ProtocolResult:
     """Execute one k-out-of-n SAC round on the simulated network.
 
@@ -542,6 +551,7 @@ def run_sac_protocol(
         bandwidth_bps=bandwidth_bps, serialize_uplink=serialize_uplink,
         transport=transport, transport_opts=transport_opts,
     )
+    network.trace_id = trace_id if trace_id is not None else f"sac:s{seed}"
     peers = [
         SacProtocolPeer(
             i, sim, network, n, k, leader, models[i],

@@ -13,8 +13,10 @@ from typing import Any, Dict, Optional, Protocol, runtime_checkable
 
 import numpy as np
 
+from ..obs import causal as _causal
 from ..obs import runtime as _obs
 from ..obs.bus import EventBus
+from ..obs.causal import TraceContext
 from .events import Simulator
 from .reliable import AckFrame, DataFrame, ReliableTransport, check_transport
 from .trace import MessageRecord, TraceRecorder
@@ -193,6 +195,13 @@ class Network:
         #: present, protocol-level failure detectors may ask it whether a
         #: crashed node has a recovery still pending.
         self.fault_oracle: Any = None
+        #: trace id stamped on every TraceContext this network allocates
+        #: (one id per round/scenario; set by the round runners).
+        self.trace_id: str = "trace"
+        # Per-(src, dst, kind) send counters: span ids must be a pure
+        # function of the protocol's message sequence, never of global
+        # emission order, so parallel and sequential runs agree.
+        self._causal_seq: Dict[tuple, int] = {}
         self._uplink_free: Dict[int, float] = {}
         self._nodes: Dict[int, Any] = {}
         self._crashed: set[int] = set()
@@ -346,13 +355,52 @@ class Network:
         fault conditions apply to every physical attempt.  ``size_bits``
         feeds the communication-cost trace; control messages may leave
         it at 0.
+
+        With causal tracing on (``observe(causal=True)``), every
+        logical send allocates a :class:`TraceContext` whose parent is
+        the message being delivered (or timer firing) right now.
         """
+        obs = _obs.OBS
+        ctx = (
+            self.alloc_context(src, dst, kind, size_bits)
+            if obs.enabled and obs.causal else None
+        )
         if self.reliable is not None:
             if dst not in self._nodes:
                 raise KeyError(f"unknown destination node {dst}")
-            self.reliable.send(src, dst, msg, size_bits, kind)
+            self.reliable.send(src, dst, msg, size_bits, kind, ctx=ctx)
             return
-        self.physical_send(src, dst, msg, size_bits=size_bits, kind=kind)
+        self.physical_send(src, dst, msg, size_bits=size_bits, kind=kind,
+                           ctx=ctx)
+
+    def alloc_context(
+        self, src: int, dst: int, kind: str, size_bits: float = 0.0
+    ) -> TraceContext:
+        """Allocate the next causal span on the (src, dst, kind) channel.
+
+        Emits the ``net.send`` event that anchors the span in the DAG
+        and counts it in ``trace_spans_total``.  The parent is whatever
+        context is active on this thread — the delivery or timer that
+        caused this send — so chains root at the t=0 initiating sends.
+        """
+        key = (src, dst, kind)
+        n = self._causal_seq.get(key, 0)
+        self._causal_seq[key] = n + 1
+        parent = _causal.current()
+        ctx = TraceContext(
+            trace_id=self.trace_id,
+            span_id=_causal.make_span_id(src, dst, kind, n),
+            parent_id=parent.span_id if parent is not None else None,
+        )
+        obs = _obs.OBS
+        if obs.enabled:
+            obs.emit("net.send", t_ms=self.sim.now, node=src, dst=dst,
+                     kind=kind, bits=size_bits, **ctx.child_fields())
+            obs.metrics.counter(
+                "trace_spans_total", "Causal message spans by kind.",
+                labels=("kind",),
+            ).labels(kind=kind).inc()
+        return ctx
 
     def physical_send(
         self,
@@ -361,15 +409,16 @@ class Network:
         msg: Any,
         size_bits: float = 0.0,
         kind: str = "msg",
+        ctx: Optional[TraceContext] = None,
     ) -> None:
         """One physical transmission attempt (no transport semantics)."""
         if dst not in self._nodes:
             raise KeyError(f"unknown destination node {dst}")
         if not self.link_up(src, dst):
-            self._drop(src, dst, kind, size_bits, "link_down")
+            self._drop(src, dst, kind, size_bits, "link_down", ctx=ctx)
             return
         if self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
-            self._drop(src, dst, kind, size_bits, "loss")
+            self._drop(src, dst, kind, size_bits, "loss", ctx=ctx)
             return
         delay = self.latency.sample(src, dst, self.rng)
         if self.bandwidth_bps is not None and size_bits > 0:
@@ -385,15 +434,21 @@ class Network:
             # The destination may have crashed while the message was in
             # flight; a real TCP stack would RST, we just drop.
             if not self.link_up(src, dst):
-                self._drop(src, dst, kind, size_bits, "in_flight", silent=True)
+                self._drop(src, dst, kind, size_bits, "in_flight",
+                           silent=True, ctx=ctx)
                 return
             self.bus.publish_message(
                 MessageRecord(self.sim.now, src, dst, kind, size_bits, delivered=True)
             )
             obs = _obs.OBS
             if obs.enabled:
-                obs.emit("net.deliver", t_ms=self.sim.now, node=src,
-                         dst=dst, kind=kind, bits=size_bits)
+                if ctx is not None:
+                    obs.emit("net.deliver", t_ms=self.sim.now, node=src,
+                             dst=dst, kind=kind, bits=size_bits,
+                             **ctx.child_fields())
+                else:
+                    obs.emit("net.deliver", t_ms=self.sim.now, node=src,
+                             dst=dst, kind=kind, bits=size_bits)
                 obs.metrics.counter(
                     "net_messages_total", "Delivered messages by kind.",
                     labels=("kind",),
@@ -402,7 +457,13 @@ class Network:
                     "net_bits_total", "Delivered bits by kind.",
                     labels=("kind",),
                 ).labels(kind=kind).inc(size_bits)
-            self.deliver_to_node(src, dst, msg)
+            if ctx is not None:
+                # Run the handler with this span as the causal parent:
+                # whatever it sends in response is a child of this hop.
+                with _causal.use(ctx):
+                    self.deliver_to_node(src, dst, msg)
+            else:
+                self.deliver_to_node(src, dst, msg)
 
         self.sim.schedule(delay, deliver)
 
@@ -423,7 +484,8 @@ class Network:
         self._nodes[dst].deliver(src, msg)
 
     def _drop(self, src: int, dst: int, kind: str, size_bits: float,
-              reason: str, silent: bool = False) -> None:
+              reason: str, silent: bool = False,
+              ctx: Optional[TraceContext] = None) -> None:
         """Account (and, under obs, report) a dropped message.
 
         ``silent`` marks the in-flight case: the seed recorded no
@@ -438,8 +500,13 @@ class Network:
             )
         obs = _obs.OBS
         if obs.enabled:
-            obs.emit("net.drop", t_ms=self.sim.now, node=src, dst=dst,
-                     kind=kind, bits=size_bits, reason=reason)
+            if ctx is not None:
+                obs.emit("net.drop", t_ms=self.sim.now, node=src, dst=dst,
+                         kind=kind, bits=size_bits, reason=reason,
+                         **ctx.child_fields())
+            else:
+                obs.emit("net.drop", t_ms=self.sim.now, node=src, dst=dst,
+                         kind=kind, bits=size_bits, reason=reason)
             obs.metrics.counter(
                 "net_dropped_total", "Dropped messages by reason and kind.",
                 labels=("reason", "kind"),

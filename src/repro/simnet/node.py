@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from ..obs import causal as _causal
+from ..obs import runtime as _obs
 from .events import Simulator, TimerHandle
 from .network import Network
 
@@ -31,12 +33,25 @@ class SimNode:
 
     # ----------------------------------------------------------------- timers
     def set_timer(self, delay_ms: float, callback: Callable[[], None]) -> TimerHandle:
-        """Schedule ``callback`` unless this node crashes first."""
+        """Schedule ``callback`` unless this node crashes first.
+
+        With causal tracing on, the context active when the timer is
+        *armed* is restored when it fires: a timeout's consequences
+        (SAC recovery fetches, Raft elections) are causally children of
+        the message that armed the timer.
+        """
         handle_box: list[TimerHandle] = []
+        obs = _obs.OBS
+        ctx = _causal.current() if obs.enabled and obs.causal else None
 
         def fire() -> None:
             self._timers.discard(handle_box[0])
-            if not self.crashed:
+            if self.crashed:
+                return
+            if ctx is not None:
+                with _causal.use(ctx):
+                    callback()
+            else:
                 callback()
 
         handle = self.sim.schedule(delay_ms, fire)

@@ -42,6 +42,7 @@ from typing import TYPE_CHECKING, Any, Optional
 from ..obs import runtime as _obs
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..obs.causal import TraceContext
     from .events import TimerHandle
     from .network import Network
 
@@ -93,6 +94,9 @@ class _Pending:
     dst: int
     attempts: int = 0
     timer: Optional["TimerHandle"] = None
+    # Causal span of the logical send: every physical (re)transmission
+    # of this frame is the same message, so they share one span.
+    ctx: Optional["TraceContext"] = None
 
 
 @dataclass(frozen=True)
@@ -149,11 +153,12 @@ class ReliableTransport:
         self.exhausted: list[ExhaustedSend] = []
 
     # ------------------------------------------------------------------ sender
-    def send(self, src: int, dst: int, msg: Any, size_bits: float, kind: str) -> None:
+    def send(self, src: int, dst: int, msg: Any, size_bits: float,
+             kind: str, ctx: Optional["TraceContext"] = None) -> None:
         """Ship ``msg`` reliably; called by :meth:`Network.send`."""
         frame = DataFrame(self._next_seq, msg, size_bits, kind)
         self._next_seq += 1
-        pending = _Pending(frame=frame, src=src, dst=dst)
+        pending = _Pending(frame=frame, src=src, dst=dst, ctx=ctx)
         self._pending[frame.seq] = pending
         self._transmit(pending)
 
@@ -162,7 +167,7 @@ class ReliableTransport:
         frame = pending.frame
         self.network.physical_send(
             pending.src, pending.dst, frame,
-            size_bits=frame.size_bits(), kind=frame.kind,
+            size_bits=frame.size_bits(), kind=frame.kind, ctx=pending.ctx,
         )
         rto = self.base_rto_ms * self.backoff ** (pending.attempts - 1)
         pending.timer = self.network.sim.schedule(
@@ -195,11 +200,15 @@ class ReliableTransport:
             )
             obs = _obs.OBS
             if obs.enabled:
+                extra = (
+                    pending.ctx.child_fields() if pending.ctx is not None
+                    else {}
+                )
                 obs.emit(
                     "net.retransmit_exhausted", t_ms=self.network.sim.now,
                     node=pending.src, dst=pending.dst,
                     kind=pending.frame.kind, attempts=pending.attempts,
-                    delivered=delivered,
+                    delivered=delivered, **extra,
                 )
                 obs.metrics.counter(
                     "net_retransmit_exhausted_total",
@@ -210,10 +219,14 @@ class ReliableTransport:
         self.retransmits += 1
         obs = _obs.OBS
         if obs.enabled:
+            extra = (
+                pending.ctx.child_fields() if pending.ctx is not None else {}
+            )
             obs.emit(
                 "net.retransmit", t_ms=self.network.sim.now,
                 node=pending.src, dst=pending.dst,
                 kind=pending.frame.kind, attempt=pending.attempts + 1,
+                **extra,
             )
             obs.metrics.counter(
                 "net_retransmits_total", "Data-frame retransmissions by kind.",
@@ -231,9 +244,13 @@ class ReliableTransport:
             obs.metrics.counter(
                 "net_acks_total", "Transport ACK frames sent.",
             ).inc()
+        ack_ctx = (
+            self.network.alloc_context(dst, src, "net.ack", ACK_BITS)
+            if obs.enabled and obs.causal else None
+        )
         self.network.physical_send(
             dst, src, AckFrame(frame.seq),
-            size_bits=ACK_BITS, kind="net.ack",
+            size_bits=ACK_BITS, kind="net.ack", ctx=ack_ctx,
         )
         if frame.seq in self._delivered_seqs:
             self.duplicates_suppressed += 1

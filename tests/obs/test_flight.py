@@ -1,0 +1,108 @@
+"""Flight recorder: the ring stays bounded, typed failures and safety
+violations dump incident directories with the events leading up to
+them, and the dump ceiling suppresses rather than filling the disk."""
+
+import json
+import os
+
+import numpy as np
+
+from repro.chaos import Crash, FaultSchedule
+from repro.core.topology import Topology
+from repro.core.wire_round import run_two_layer_wire_round
+from repro.obs import runtime as _runtime
+from repro.obs.flight import FlightRecorder
+
+
+def _read_jsonl(path):
+    with open(path) as fh:
+        return [json.loads(line) for line in fh]
+
+
+class TestRing:
+    def test_ring_is_bounded(self, tmp_path):
+        with _runtime.observe() as obs:
+            rec = FlightRecorder(out_dir=str(tmp_path), capacity=8)
+            rec.attach(obs.bus)
+            for i in range(100):
+                obs.emit("tick", t_ms=float(i), node=0)
+        assert rec.events_seen == 100
+        assert len(rec.ring) == 8
+        assert [e.t_ms for e in rec.ring] == [92.0 + i for i in range(8)]
+        assert not rec.incidents  # nothing triggered
+
+    def test_happy_path_rounds_do_not_trigger(self, tmp_path):
+        with _runtime.observe() as obs:
+            rec = obs.attach_flight(out_dir=str(tmp_path))
+            obs.emit("round.complete", t_ms=75.0, completed=True)
+        assert not rec.incidents
+
+
+class TestIncidents:
+    def test_safety_violation_dumps_last_n_events(self, tmp_path):
+        with _runtime.observe() as obs:
+            rec = obs.attach_flight(out_dir=str(tmp_path), capacity=16)
+            for i in range(40):
+                obs.emit("tick", t_ms=float(i), node=0)
+            obs.emit("chaos.safety_violation", t_ms=None,
+                     outcome="completed", detail="aggregate mismatch")
+        (inc_dir,) = rec.incidents
+        events = _read_jsonl(os.path.join(inc_dir, "events.jsonl"))
+        assert len(events) == 16
+        assert events[-1]["name"] == "chaos.safety_violation"
+        assert events[-1]["detail"] == "aggregate mismatch"
+        manifest = json.load(open(os.path.join(inc_dir, "manifest.json")))
+        assert manifest["trigger"]["name"] == "chaos.safety_violation"
+        assert manifest["ring_capacity"] == 16
+        # The pipeline wires its own registry in: the dump has metrics
+        # and the registry counts the incident.
+        assert os.path.exists(os.path.join(inc_dir, "metrics.prom"))
+        assert 'flight_incidents_total{trigger="chaos.safety_violation"}' \
+            in obs.metrics.render_prometheus()
+
+    def test_retransmit_exhaustion_triggers(self, tmp_path):
+        with _runtime.observe() as obs:
+            rec = obs.attach_flight(out_dir=str(tmp_path))
+            obs.emit("net.retransmit_exhausted", t_ms=50.0, node=2, dst=3)
+        assert len(rec.incidents) == 1
+
+    def test_max_incidents_suppresses(self, tmp_path):
+        with _runtime.observe() as obs:
+            rec = obs.attach_flight(out_dir=str(tmp_path), max_incidents=1)
+            obs.emit("chaos.safety_violation", t_ms=None, detail="a")
+            obs.emit("chaos.safety_violation", t_ms=None, detail="b")
+        assert len(rec.incidents) == 1
+        assert rec.suppressed == 1
+
+    def test_link_matrix_included_when_attached(self, tmp_path):
+        with _runtime.observe(causal=True) as obs:
+            obs.attach_link()
+            rec = obs.attach_flight(out_dir=str(tmp_path))
+            obs.emit("net.retransmit_exhausted", t_ms=1.0, node=0, dst=1)
+        (inc_dir,) = rec.incidents
+        matrix = json.load(open(os.path.join(inc_dir, "link_matrix.json")))
+        assert "pairs" in matrix
+
+
+class TestEndToEnd:
+    def test_unrecoverable_round_leaves_an_incident(self, tmp_path):
+        # k == group size: any crash makes the subgroup unrecoverable,
+        # so the round fails typed and the recorder dumps.
+        topo = Topology.by_group_size(6, 3)
+        victim = next(p for p in range(6) if p not in topo.leaders)
+        schedule = FaultSchedule([Crash(10.0, victim)])
+        rng = np.random.default_rng(0)
+        models = [rng.normal(size=16) for _ in range(6)]
+        with _runtime.observe(causal=True) as obs:
+            rec = obs.attach_flight(out_dir=str(tmp_path))
+            result = run_two_layer_wire_round(
+                topo, models, k=3, seed=0, schedule=schedule,
+            )
+        assert not result.completed
+        (inc_dir,) = rec.incidents
+        events = _read_jsonl(os.path.join(inc_dir, "events.jsonl"))
+        trigger = events[-1]
+        assert trigger["name"] == "round.complete"
+        assert trigger["completed"] is False
+        # The ring holds the causal context: the crash that caused it.
+        assert any(e["name"] == "net.crash" for e in events)

@@ -42,11 +42,11 @@ class DroppingSend:
         self._network = network
         self.remaining = dict(drop_kinds_counts)
 
-    def __call__(self, src, dst, msg, size_bits=0.0, kind="msg"):
+    def __call__(self, src, dst, msg, size_bits=0.0, kind="msg", **kw):
         if self.remaining.get(kind, 0) > 0:
             self.remaining[kind] -= 1
             return  # vanished on the wire
-        self._orig(src, dst, msg, size_bits=size_bits, kind=kind)
+        self._orig(src, dst, msg, size_bits=size_bits, kind=kind, **kw)
 
 
 class TestFrames:
