@@ -11,6 +11,7 @@ optionally dumps the raw series to CSV::
     python -m repro trace --trace-out out/trace.json
     python -m repro bench --bench-out BENCH_suite.json
     python -m repro bench --compare OLD.json NEW.json
+    python -m repro prof --resources
     python -m repro chaos --plans 25
     python -m repro serve-metrics --metrics-port 9100
 
@@ -24,6 +25,12 @@ capture the run's events and metrics as a side effect.
 (``repro.obs.bench``) and writes a schema-validated ``BENCH_suite.json``;
 with ``--compare`` it instead diffs two artifacts and exits non-zero on
 any regression — the gate future perf PRs cite for before/after numbers.
+
+``prof`` runs the failover + wire-round workload under the phase
+profiler and prints the span call tree; with ``--resources`` it also
+wraps each phase in the live :class:`~repro.obs.prof.ResourceProfiler`
+(tracemalloc deltas, peak RSS) and prints the process/simnet/obs
+resource snapshot.
 
 ``chaos`` runs seeded fault-injection campaigns (``repro.chaos``)
 against the SAC, two-layer and Raft stacks and prints the
@@ -58,7 +65,7 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=[
             "env", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
             "fig12", "fig13", "fig14", "multilayer", "all", "report",
-            "plan", "trace", "bench", "chaos", "serve-metrics",
+            "plan", "trace", "bench", "prof", "chaos", "serve-metrics",
         ],
         help="which table/figure to regenerate ('report' writes everything "
         "to a markdown file; 'plan' runs the deployment planner; 'trace' "
@@ -119,6 +126,12 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--wall-tolerance", type=float, default=1.5,
                         help="'bench --compare': allowed wall-time median "
                         "ratio NEW/OLD (default: 1.5)")
+    parser.add_argument("--mem-tolerance", type=float, default=2.0,
+                        help="'bench --compare': allowed peak-allocation "
+                        "ratio NEW/OLD (default: 2.0)")
+    parser.add_argument("--resources", action="store_true",
+                        help="'prof': wrap each phase in the live resource "
+                        "profiler and print the memory/simnet snapshot")
     parser.add_argument("--top", type=int, default=12,
                         help="'bench': rows in the printed top-phases table")
     parser.add_argument("--parallel", default=None,
@@ -181,10 +194,12 @@ def _run_bench(args: argparse.Namespace) -> int:
         old = bench.load_artifact(args.compare[0])
         new = bench.load_artifact(args.compare[1])
         ok, deltas = bench.compare_artifacts(
-            old, new, wall_tolerance=args.wall_tolerance
+            old, new, wall_tolerance=args.wall_tolerance,
+            mem_tolerance=args.mem_tolerance,
         )
         print(bench.format_compare_report(
-            ok, deltas, wall_tolerance=args.wall_tolerance
+            ok, deltas, wall_tolerance=args.wall_tolerance,
+            mem_tolerance=args.mem_tolerance,
         ))
         return 0 if ok else 1
 
@@ -208,6 +223,67 @@ def _run_bench(args: argparse.Namespace) -> int:
                       f"total {ph['total_ms']:>9.2f} ms  "
                       f"{ph['bits'] / 1e6:>7.2f} Mb")
     log.info("artifact -> %s", path)
+    return 0
+
+
+def _run_prof(args: argparse.Namespace) -> int:
+    """Profile the failover + wire-round workload; optionally resources."""
+    import numpy as np
+
+    from .core.topology import Topology
+    from .core.wire_round import run_two_layer_wire_round
+    from .obs import runtime as _runtime
+    from .obs.prof import ResourceProfiler, profile_events
+    from .obs.scale import format_resource_report, resource_snapshot
+    from .twolayer_raft.system import TwoLayerRaftSystem
+
+    n_peers = args.peers or 12
+    group_size = 4
+    seed = args.seed
+    rp = ResourceProfiler() if args.resources else None
+
+    import contextlib
+
+    def phase(name: str):
+        return rp.phase(name) if rp is not None else contextlib.nullcontext()
+
+    with _runtime.observe(causal=True) as obs:
+        with phase("build"):
+            topology = Topology.by_group_size(n_peers, group_size)
+            system = TwoLayerRaftSystem(topology, seed=seed)
+            models = [
+                np.random.default_rng([seed, p]).normal(size=256)
+                for p in range(n_peers)
+            ]
+        with phase("stabilize"):
+            system.stabilize()
+        with phase("failover"):
+            victim = system.subgroup_leader(1)
+            if victim is not None:
+                system.crash(victim)
+            system.stabilize()
+        with phase("wire_round"):
+            k = max(2, min(3, min(len(g) for g in topology.groups)))
+            result = run_two_layer_wire_round(
+                topology, models, k=k, seed=seed,
+                trace_id=f"prof:s{seed}",
+            )
+        report = profile_events(obs.events)
+        print(report.format_table(limit=args.top))
+        print()
+        print(f"wire round: {'completed' if result.completed else 'FAILED'} "
+              f"in {result.finish_time_ms:.1f} sim-ms, "
+              f"{result.messages_sent} messages, "
+              f"{result.bits_sent / 1e6:.2f} Mb")
+        if rp is not None:
+            print()
+            print(rp.format_table())
+            print()
+            # Snapshot before close() so the tracemalloc block is present.
+            print(format_resource_report(resource_snapshot(
+                obs=obs, sim=system.sim, network=system.network,
+            )))
+            rp.close()
     return 0
 
 
@@ -235,7 +311,8 @@ def _run_serve(args: argparse.Namespace) -> int:
     from .core.topology import Topology
     from .core.wire_round import run_two_layer_wire_round
     from .obs import runtime as _runtime
-    from .obs.serve import MetricsServer, StatusBoard
+    from .obs.scale import resource_snapshot
+    from .obs.serve import MetricsPortInUseError, MetricsServer, StatusBoard
 
     n_peers, group_size, k = 12, 4, 3
     topology = Topology.by_group_size(n_peers, group_size)
@@ -247,10 +324,18 @@ def _run_serve(args: argparse.Namespace) -> int:
         board = StatusBoard().attach(obs.bus)
         link = obs.attach_link()
         flight = obs.attach_flight(out_dir=args.incident_dir)
-        server = MetricsServer(
-            metrics=obs.metrics, status=board, link=link,
-            host=args.serve_host, port=port,
-        ).start()
+        try:
+            server = MetricsServer(
+                metrics=obs.metrics, status=board, link=link,
+                host=args.serve_host, port=port,
+                resources=lambda: resource_snapshot(obs=obs),
+            ).start()
+        except MetricsPortInUseError as exc:
+            log.error("%s", exc)
+            return 2
+        # An ephemeral request (port 0) resolves at bind time; print the
+        # chosen port on stdout so wrappers can scrape it.
+        print(f"metrics port: {server.port}", flush=True)
         log.info("serving %s/metrics and %s/status", server.url, server.url)
         try:
             for i in range(args.serve_rounds):
@@ -301,6 +386,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.figure == "bench":
         return _run_bench(args)
 
+    if args.figure == "prof":
+        return _run_prof(args)
+
     if args.figure == "chaos":
         return _run_chaos(args)
 
@@ -328,12 +416,20 @@ def main(argv: list[str] | None = None) -> int:
     obs = ctx.__enter__() if ctx is not None else None
     server = None
     if obs is not None and args.metrics_port is not None:
-        from .obs.serve import MetricsServer
+        from .obs.scale import resource_snapshot
+        from .obs.serve import MetricsPortInUseError, MetricsServer
 
-        server = MetricsServer(
-            metrics=obs.metrics, host=args.serve_host,
-            port=args.metrics_port,
-        ).start()
+        try:
+            server = MetricsServer(
+                metrics=obs.metrics, host=args.serve_host,
+                port=args.metrics_port,
+                resources=lambda: resource_snapshot(obs=obs),
+            ).start()
+        except MetricsPortInUseError as exc:
+            log.error("%s", exc)
+            ctx.__exit__(None, None, None)
+            return 2
+        print(f"metrics port: {server.port}", flush=True)
         log.info("metrics live at %s/metrics", server.url)
 
     try:

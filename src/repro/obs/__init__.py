@@ -27,7 +27,10 @@ This package is that instrumentation as a first-class subsystem:
 - :mod:`.serve` — a stdlib HTTP ``/metrics`` + ``/status`` endpoint
   (``python -m repro serve-metrics``, ``--metrics-port``);
 - :mod:`.flight` — a bounded flight-recorder ring that dumps the events
-  leading up to safety violations and typed failures.
+  leading up to safety violations and typed failures;
+- :mod:`.scale` — bounded-memory rollup retention
+  (``observe(retention="rollup")``) and process/simnet/obs resource
+  accounting for the 10⁵-peer scale push.
 
 ``repro.obs.scenario`` (the ``python -m repro trace`` scenario) is
 imported lazily, not here, because it depends on ``repro.core``
@@ -50,6 +53,7 @@ from .causal import (
     CausalDag,
     CriticalPath,
     TraceContext,
+    TraceSampler,
     build_dag,
     critical_path,
     critical_paths_by_trace,
@@ -63,16 +67,44 @@ from .export import (
 from .flight import FlightRecorder
 from .link import LinkStats, LinkTelemetry
 from .logging import ObsLogger, get_logger, set_level
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
-from .prof import PhaseStats, ProfileReport, StragglerStats, profile_events
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    QuantileSketch,
+    SketchHistogram,
+)
+from .prof import (
+    PhaseStats,
+    ProfileReport,
+    ResourceProfiler,
+    StragglerStats,
+    profile_events,
+)
 from .runtime import Observability, get, install, observe, uninstall
-from .serve import MetricsServer, StatusBoard
+from .scale import (
+    RollupCollector,
+    format_resource_report,
+    obs_self_accounting,
+    resource_snapshot,
+)
+from .serve import MetricsPortInUseError, MetricsServer, StatusBoard
 from .spans import NullSpan, Span
 
 __all__ = [
     "CausalDag",
     "CriticalPath",
     "TraceContext",
+    "TraceSampler",
+    "QuantileSketch",
+    "SketchHistogram",
+    "RollupCollector",
+    "ResourceProfiler",
+    "MetricsPortInUseError",
+    "format_resource_report",
+    "obs_self_accounting",
+    "resource_snapshot",
     "build_dag",
     "critical_path",
     "critical_paths_by_trace",

@@ -205,6 +205,63 @@ def _run_two_layer_chaos(params: dict, seed: int) -> dict:
     }
 
 
+def _run_obs_scale(params: dict, seed: int) -> dict:
+    from ..core.topology import Topology
+    from ..core.wire_round import run_two_layer_wire_round
+    from .scale import obs_self_accounting
+
+    # The telemetry-scalability claim, regression-gated: a two-layer
+    # round at n in the thousands under rollup retention + sampled
+    # causal tracing.  The round runs twice — at ``baseline_n`` and at
+    # ``n`` — and asserts (not estimates) that retained telemetry grows
+    # sublinearly in peer count.  Telemetry byte counts are a pure
+    # function of the event stream, so they sit in ``sim`` and are
+    # compared exactly; wall/alloc measurements ride in ``resources``.
+    # The profiling pipeline run_scenario installed; spans created on it
+    # keep emitting there even while the inner rollup pipeline is the
+    # global one (Span stores its pipeline at construction).
+    outer = _runtime.OBS
+
+    def one(n: int, m: int) -> tuple:
+        topo = Topology.by_group_count(n, m)
+        k = min(params["k"], min(topo.group_sizes))
+        rng = np.random.default_rng(seed)
+        models = [rng.normal(size=params["model_params"])
+                  for _ in range(topo.n_peers)]
+        with outer.span("bench.obs_scale", n=n, m=m):
+            with _runtime.observe(
+                retention="rollup", causal=True,
+                causal_sample_rate=params["sample_rate"],
+                causal_sample_seed=seed,
+            ) as inner:
+                result = run_two_layer_wire_round(
+                    topo, models, k=k, seed=seed,
+                    trace_id=f"obs_scale:n{n}:s{seed}",
+                )
+        assert result.completed
+        return result, obs_self_accounting(inner)
+
+    small_n, small_m = params["baseline_n"], params["baseline_m"]
+    _small, small_acct = one(small_n, small_m)
+    result, acct = one(params["n"], params["m"])
+    peer_ratio = params["n"] / small_n
+    byte_ratio = (
+        acct["telemetry_bytes"] / max(1, small_acct["telemetry_bytes"])
+    )
+    assert byte_ratio < peer_ratio, (
+        f"rollup telemetry grew {byte_ratio:.1f}x for {peer_ratio:.1f}x "
+        "peers — not sublinear"
+    )
+    return {
+        "sim_time_ms": result.finish_time_ms,
+        "bits": result.bits_sent,
+        "messages": result.messages_sent,
+        "telemetry_bytes": acct["telemetry_bytes"],
+        "telemetry_bytes_baseline": small_acct["telemetry_bytes"],
+        "rollup_events_seen": acct["rollup_events_seen"],
+    }
+
+
 def _run_two_layer(params: dict, seed: int) -> dict:
     from ..core.topology import Topology
     from ..core.wire_round import run_two_layer_wire_round
@@ -347,6 +404,19 @@ def build_suite(
     ))
     suite.append(Scenario("failover", seed, failover, _run_failover))
     suite.append(Scenario("nn_epoch", seed, nn, _run_nn_epoch))
+    # Telemetry at scale: n stays in the thousands even under smoke —
+    # the whole point is the 10⁵-peer trajectory, and the acceptance
+    # gate requires the sublinearity assertion at n >= 2000.
+    obs_scale = (
+        {"n": 2000, "m": 100, "baseline_n": 200, "baseline_m": 10}
+        if smoke else
+        {"n": 4000, "m": 200, "baseline_n": 400, "baseline_m": 20}
+    )
+    suite.append(Scenario(
+        "obs_scale", seed,
+        {**obs_scale, "k": 2, "model_params": 4, "sample_rate": 0.25},
+        _run_obs_scale,
+    ))
     return suite
 
 
@@ -365,10 +435,38 @@ def _wall_stats(walls: Sequence[float], warmup: int) -> dict:
     }
 
 
-def run_scenario(sc: Scenario, repeats: int = 3, warmup: int = 1) -> dict:
+def _measure_resources(sc: Scenario) -> dict:
+    """One extra untimed run under ``tracemalloc`` for memory stats.
+
+    Separate from the wall repeats because allocation tracing costs
+    real wall time — it must never distort the timed medians.  The
+    returned block is a *measurement* (machine-dependent), excluded
+    from the sim fingerprint but gated with its own tolerance by
+    :func:`compare_artifacts`.
+    """
+    from .prof import ResourceProfiler
+    from .scale import _peak_rss_bytes
+
+    with ResourceProfiler() as prof:
+        with _runtime.observe():
+            with prof.phase(sc.id):
+                sc.run(sc.params, sc.seed)
+    stats = prof.phases[0][1]
+    return {
+        "alloc_peak_bytes": stats["alloc_peak_bytes"],
+        "alloc_delta_bytes": stats["alloc_delta_bytes"],
+        "peak_rss_bytes": _peak_rss_bytes(),
+    }
+
+
+def run_scenario(
+    sc: Scenario, repeats: int = 3, warmup: int = 1, resources: bool = True
+) -> dict:
     """Run one scenario ``warmup + repeats`` times; profile the first
     measured repeat (sim-side results are seed-deterministic, so any
-    repeat would do) and take wall stats over the measured ones."""
+    repeat would do) and take wall stats over the measured ones.  A
+    final untimed pass under ``tracemalloc`` records the scenario's
+    peak telemetry/workload memory (skipped with ``resources=False``)."""
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
     walls_ms: list[float] = []
@@ -386,7 +484,7 @@ def run_scenario(sc: Scenario, repeats: int = 3, warmup: int = 1) -> dict:
             sim = metrics
             phases = [p.to_dict() for p in profile_events(obs.events).phases]
     assert sim is not None and phases is not None
-    return {
+    record = {
         "id": sc.id,
         "seed": sc.seed,
         "params": dict(sc.params),
@@ -394,6 +492,9 @@ def run_scenario(sc: Scenario, repeats: int = 3, warmup: int = 1) -> dict:
         "wall_ms": _wall_stats(walls_ms, warmup),
         "phases": phases,
     }
+    if resources:
+        record["resources"] = _measure_resources(sc)
+    return record
 
 
 def run_suite(
@@ -403,6 +504,7 @@ def run_suite(
     warmup: int = 1,
     only: Iterable[str] | None = None,
     parallel: str | None = None,
+    resources: bool = True,
 ) -> dict:
     """Run the canonical suite and return a schema-valid artifact."""
     wanted = set(only) if only is not None else None
@@ -411,7 +513,8 @@ def run_suite(
         if wanted is not None and sc.id not in wanted:
             continue
         log.info("bench: %s %s", sc.id, sc.params)
-        scenarios.append(run_scenario(sc, repeats=repeats, warmup=warmup))
+        scenarios.append(run_scenario(sc, repeats=repeats, warmup=warmup,
+                                      resources=resources))
     artifact = make_artifact(
         scenarios, mode="smoke" if smoke else "full", seed=seed,
     )
@@ -501,6 +604,16 @@ def validate_artifact(doc: Any) -> list[str]:
             for key in _WALL_STAT_KEYS:
                 if not _is_num(wall.get(key)):
                     errors.append(f"{where}.wall_ms.{key} must be a number")
+        res = sc.get("resources")
+        if res is not None:
+            if not isinstance(res, dict):
+                errors.append(f"{where}.resources must be an object")
+            else:
+                for key, value in res.items():
+                    if value is not None and not _is_num(value):
+                        errors.append(
+                            f"{where}.resources.{key} must be a number or null"
+                        )
         phases = sc.get("phases")
         if not isinstance(phases, list):
             errors.append(f"{where}.phases must be a list")
@@ -599,17 +712,23 @@ def _phase_index(sc: dict) -> dict[tuple[str, ...], dict]:
 
 
 def compare_artifacts(
-    old: dict, new: dict, wall_tolerance: float = 1.5
+    old: dict, new: dict, wall_tolerance: float = 1.5,
+    mem_tolerance: float = 2.0,
 ) -> tuple[bool, list[Delta]]:
     """Diff two artifacts metric-by-metric.
 
     Sim-side metrics are deterministic, so *any* difference fails the
     gate (even an apparent improvement — the baseline must be re-blessed
     by regenerating it).  Wall medians fail only beyond
-    ``wall_tolerance`` (default: new may be up to 1.5x old).
+    ``wall_tolerance`` (default: new may be up to 1.5x old); peak
+    allocation (the ``resources`` block) gets its own, looser
+    ``mem_tolerance`` — allocator noise is larger than timer noise.  A
+    baseline without resources yields an info line, never a regression.
     """
     if wall_tolerance < 1.0:
         raise ValueError("wall_tolerance must be >= 1.0")
+    if mem_tolerance < 1.0:
+        raise ValueError("mem_tolerance must be >= 1.0")
     deltas: list[Delta] = []
 
     def add(scenario: str, metric: str, o: Any, n: Any,
@@ -677,23 +796,50 @@ def compare_artifacts(
             else:
                 add(sid, "wall_ms.median", omed, nmed, False,
                     f"{ratio:.2f}x (within {wall_tolerance:.2f}x)")
+        # --- peak memory: threshold on the resource pass's alloc peak.
+        opeak = (osc.get("resources") or {}).get("alloc_peak_bytes")
+        npeak = (nsc.get("resources") or {}).get("alloc_peak_bytes")
+        if _is_num(opeak) and _is_num(npeak) and opeak > 0:
+            ratio = npeak / opeak
+            if ratio > mem_tolerance:
+                add(sid, "resources.alloc_peak_bytes", opeak, npeak, True,
+                    f"{ratio:.2f}x more peak memory "
+                    f"(tolerance {mem_tolerance:.2f}x)")
+            else:
+                add(sid, "resources.alloc_peak_bytes", opeak, npeak, False,
+                    f"{ratio:.2f}x (within {mem_tolerance:.2f}x)")
+        elif _is_num(npeak):
+            add(sid, "resources.alloc_peak_bytes", None, npeak, False,
+                "no memory baseline (regenerate to gate memory)")
 
     ok = not any(d.regression for d in deltas)
     return ok, deltas
 
 
 def format_compare_report(
-    ok: bool, deltas: list[Delta], wall_tolerance: float = 1.5
+    ok: bool, deltas: list[Delta], wall_tolerance: float = 1.5,
+    mem_tolerance: float = 2.0,
 ) -> str:
     """Readable delta report for the CLI.
 
     Wall-clock medians render as a per-scenario table (old / new /
-    ratio / verdict); sim-side and structural deltas — always
-    regressions when present — are listed individually below it.
+    ratio / peak-memory ratio / verdict); sim-side and structural
+    deltas — always regressions when present — are listed individually
+    below it.
     """
-    lines = [f"BENCH compare (wall tolerance {wall_tolerance:.2f}x)"]
+    lines = [
+        f"BENCH compare (wall tolerance {wall_tolerance:.2f}x, "
+        f"mem tolerance {mem_tolerance:.2f}x)"
+    ]
     walls = [d for d in deltas if d.metric == "wall_ms.median"]
-    others = [d for d in deltas if d.metric != "wall_ms.median"]
+    mems = {
+        d.scenario: d for d in deltas
+        if d.metric == "resources.alloc_peak_bytes"
+    }
+    others = [
+        d for d in deltas
+        if d.metric not in ("wall_ms.median", "resources.alloc_peak_bytes")
+    ]
     regressions = [d for d in deltas if d.regression]
     infos = [d for d in deltas if not d.regression]
 
@@ -701,7 +847,8 @@ def format_compare_report(
         width = max([len(d.scenario) for d in walls] + [8])
         lines.append(
             f"  {'scenario':<{width}}  {'old med ms':>12}  "
-            f"{'new med ms':>12}  {'ratio':>7}  verdict"
+            f"{'new med ms':>12}  {'ratio':>7}  {'peak MB':>9}  "
+            f"{'mem':>7}  verdict"
         )
         for d in walls:
             ratio = (
@@ -709,14 +856,35 @@ def format_compare_report(
                 if _is_num(d.old) and _is_num(d.new) and d.old > 0
                 else f"{'?':>7}"
             )
-            verdict = "FAIL" if d.regression else "ok"
+            mem = mems.get(d.scenario)
+            if mem is not None and _is_num(mem.new):
+                peak = f"{mem.new / 1e6:>9.2f}"
+                mem_ratio = (
+                    f"{mem.new / mem.old:>6.2f}x"
+                    if _is_num(mem.old) and mem.old > 0 else f"{'new':>7}"
+                )
+            else:
+                peak, mem_ratio = f"{'-':>9}", f"{'-':>7}"
+            failed = d.regression or (mem is not None and mem.regression)
+            verdict = "FAIL" if failed else "ok"
             row = (
                 f"  {d.scenario:<{width}}  {d.old:>12.2f}  "
-                f"{d.new:>12.2f}  {ratio}  {verdict}"
+                f"{d.new:>12.2f}  {ratio}  {peak}  {mem_ratio}  {verdict}"
             )
-            if d.regression:
-                row += f"  ({d.note})"
+            notes = [x.note for x in (d, mem) if x is not None and x.regression]
+            # Surface the informational note when the old artifact had
+            # no memory measurements (the "new" placeholder alone would
+            # hide why the column cannot gate).
+            if mem is not None and not mem.regression and mem.old is None:
+                notes.append(mem.note)
+            if notes:
+                row += f"  ({'; '.join(notes)})"
             lines.append(row)
+        # Memory deltas for scenarios with no wall row still need a line.
+        for sid, mem in mems.items():
+            if any(d.scenario == sid for d in walls):
+                continue
+            others.append(mem)
     for d in others:
         tag = "FAIL" if d.regression else "ok  "
         lines.append(

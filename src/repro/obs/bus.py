@@ -64,6 +64,17 @@ class Event:
         """Leading component of the dotted name (``raft``, ``sac``, ...)."""
         return self.name.split(".", 1)[0]
 
+    def approx_bytes(self) -> int:
+        """Rough retained size: fixed slots + per-field estimate.
+
+        Used by the obs self-accounting in :mod:`repro.obs.scale`; a
+        cheap deterministic bound, not ``sys.getsizeof`` recursion.
+        """
+        n = 96 + len(self.name)
+        for k, v in self.fields.items():
+            n += 48 + len(k) + (len(v) if isinstance(v, str) else 8)
+        return n
+
 
 class EventBus:
     """Dispatches events and message records to subscribers.

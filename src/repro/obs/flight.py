@@ -9,7 +9,16 @@ arrives dumps an incident directory:
 - ``events.jsonl`` — the ring (the last-N events, trigger included);
 - ``metrics.prom`` — the Prometheus snapshot at dump time;
 - ``link_matrix.json`` — the per-link telemetry matrix (when attached);
-- ``manifest.json`` — trigger event, virtual time, counts.
+- ``manifest.json`` — trigger event, virtual time, counts, the causal
+  critical path reconstructed from the ring's span-carrying events
+  (when tracing was on), and a resource snapshot of the incident
+  window (when a provider is attached).
+
+Disk usage is bounded twice over: ``max_incidents`` caps the dump
+*count*, and ``max_total_bytes`` caps the *total size* across
+incidents — when a fresh dump pushes past the cap, the oldest incident
+directories are evicted (newest detail survives, as in any flight
+recorder).
 
 Triggers (all typed failures, never the happy path):
 
@@ -27,9 +36,10 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 import time
 from collections import deque
-from typing import Any, Deque, Iterable, Optional, Tuple
+from typing import Any, Callable, Deque, Iterable, Optional, Tuple
 
 from .bus import Event, EventBus
 from .export import _json_default
@@ -61,20 +71,36 @@ class FlightRecorder:
         link: Any = None,
         triggers: Iterable[str] = DEFAULT_TRIGGERS,
         max_incidents: int = DEFAULT_MAX_INCIDENTS,
+        max_total_bytes: Optional[int] = None,
+        resources: Optional[Callable[[], dict]] = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
+        if max_total_bytes is not None and max_total_bytes < 1:
+            raise ValueError("max_total_bytes must be positive")
         self.out_dir = out_dir
         self.capacity = capacity
         self.metrics = metrics
         self.link = link
         self.triggers = frozenset(triggers)
         self.max_incidents = max_incidents
+        #: total on-disk budget across all incident directories; oldest
+        #: incidents are evicted when a new dump pushes past it.
+        self.max_total_bytes = max_total_bytes
+        #: optional provider of a resource snapshot for the manifest
+        #: (``attach_flight`` wires :func:`repro.obs.scale.resource_snapshot`).
+        self.resources = resources
         self.ring: Deque[Event] = deque(maxlen=capacity)
         self.events_seen = 0
         #: incident directories written, in order.
         self.incidents: list = []
+        #: monotonic dump counter: size-cap eviction shrinks
+        #: ``incidents``, so directory names must not derive from its
+        #: length or a later dump would collide with a survivor.
+        self.dumped_total = 0
         self.suppressed = 0
+        #: incident directories evicted to honour ``max_total_bytes``.
+        self.evicted: list = []
 
     # ----------------------------------------------------------- subscription
     def attach(self, bus: EventBus) -> "FlightRecorder":
@@ -109,7 +135,7 @@ class FlightRecorder:
         trigger_slug = event.name.replace(".", "_")
         inc_dir = os.path.join(
             self.out_dir,
-            f"{stamp}-{len(self.incidents):03d}-{trigger_slug}",
+            f"{stamp}-{self.dumped_total:03d}-{trigger_slug}",
         )
         os.makedirs(inc_dir, exist_ok=True)
 
@@ -130,14 +156,21 @@ class FlightRecorder:
             "ring_capacity": self.capacity,
             "ring_events": len(events),
             "events_seen": self.events_seen,
-            "incident_index": len(self.incidents),
+            "incident_index": self.dumped_total,
             "suppressed_so_far": self.suppressed,
             "created_wall_s": time.time(),
         }
+        path = self._critical_path(events)
+        if path is not None:
+            manifest["critical_path"] = path
+        if self.resources is not None:
+            manifest["resources"] = self.resources()
         with open(os.path.join(inc_dir, "manifest.json"), "w") as fh:
             json.dump(manifest, fh, default=_json_default, indent=2)
 
         self.incidents.append(inc_dir)
+        self.dumped_total += 1
+        self._enforce_size_cap()
         if self.metrics is not None:
             self.metrics.counter(
                 "flight_incidents_total",
@@ -145,3 +178,68 @@ class FlightRecorder:
                 labels=("trigger",),
             ).labels(trigger=event.name).inc()
         return inc_dir
+
+    @staticmethod
+    def _critical_path(events: list) -> Optional[dict]:
+        """Causal critical path over the ring's span-carrying events.
+
+        The ring is a *window*, so the reconstructed path covers the
+        incident's lead-up, not necessarily the whole round; ``None``
+        when tracing was off (no span fields in the window).
+        """
+        from .causal import critical_path  # lazy: avoid import cycles
+
+        path = critical_path(events)
+        if path is None:
+            return None
+        return {
+            "trace_id": path.trace_id,
+            "latency_ms": path.latency_ms,
+            "start_ms": path.start_ms,
+            "end_ms": path.end_ms,
+            "hops": [
+                {
+                    "span": hop.span_id,
+                    "kind": hop.kind,
+                    "src": hop.src,
+                    "dst": hop.dst,
+                    "send_ms": hop.send_ms,
+                    "deliver_ms": hop.deliver_ms,
+                    "retransmits": hop.retransmits,
+                }
+                for hop in path.hops
+            ],
+        }
+
+    # ------------------------------------------------------------- size cap
+    @staticmethod
+    def _dir_bytes(path: str) -> int:
+        total = 0
+        for root, _dirs, files in os.walk(path):
+            for name in files:
+                try:
+                    total += os.path.getsize(os.path.join(root, name))
+                except OSError:
+                    pass
+        return total
+
+    def total_bytes(self) -> int:
+        """On-disk size of all surviving incident directories."""
+        return sum(self._dir_bytes(d) for d in self.incidents)
+
+    def _enforce_size_cap(self) -> None:
+        """Evict oldest incidents until the on-disk total fits the cap.
+
+        The newest incident always survives, even if it alone exceeds
+        the budget — an over-large single dump beats losing the data
+        the recorder exists to keep.
+        """
+        if self.max_total_bytes is None:
+            return
+        sizes = {d: self._dir_bytes(d) for d in self.incidents}
+        total = sum(sizes.values())
+        while total > self.max_total_bytes and len(self.incidents) > 1:
+            oldest = self.incidents.pop(0)
+            total -= sizes.pop(oldest)
+            shutil.rmtree(oldest, ignore_errors=True)
+            self.evicted.append(oldest)

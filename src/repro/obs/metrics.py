@@ -10,6 +10,18 @@ unquantified error term to every plot.
 Quantiles use the same linear-interpolation definition (including the
 symmetrized lerp) as ``numpy.quantile(..., method="linear")``; a
 property test asserts bit-identical agreement with NumPy.
+
+For the 10⁵-peer scale push, exact histograms are the one metrics
+primitive whose memory grows linearly with the workload.  The registry
+therefore supports an opt-in bounded-memory mode
+(``MetricsRegistry(histogram_mode="sketch")``, selected by
+``observe(retention="rollup")``): histograms become
+:class:`SketchHistogram` — a fixed-size mergeable
+:class:`QuantileSketch` in the merging-digest family.  The sketch is
+*exact* (bit-identical to :class:`Histogram`) until its capacity is
+exceeded; beyond that, quantiles are approximate with rank error
+bounded by the compaction count (see ``docs/observability.md``).
+Counters and gauges are O(1) either way.
 """
 
 from __future__ import annotations
@@ -109,7 +121,194 @@ class Histogram:
         return a + (b - a) * t
 
 
-_KIND_OF = {Counter: "counter", Gauge: "gauge", Histogram: "summary"}
+class QuantileSketch:
+    """Fixed-size mergeable quantile summary (merging-digest family).
+
+    Observations buffer until ``capacity`` is reached, then collapse
+    into weighted centroids; whenever the centroid list would exceed
+    ``capacity`` it is compacted by merging adjacent (sorted) pairs.
+    While no compaction has happened the sketch holds every raw value
+    and quantiles are bit-identical to :class:`Histogram`'s
+    numpy-linear definition; afterwards, quantiles interpolate between
+    centroid mean ranks, with rank error bounded by the largest
+    centroid weight (≤ ``2**compactions``), i.e. O(count / capacity).
+
+    Everything is deterministic: same observation sequence ⇒ same
+    centroids, and ``merge`` of snapshots is used by the parallel
+    worker merge, which already fixes worker order.
+    """
+
+    __slots__ = ("capacity", "count", "sum", "min", "max",
+                 "compactions", "_centroids", "_buffer")
+
+    DEFAULT_CAPACITY = 512
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 8:
+            raise ValueError("sketch capacity must be >= 8")
+        self.capacity = capacity
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.compactions = 0
+        # sorted [value, weight] pairs once flushed
+        self._centroids: list[list[float]] = []
+        self._buffer: list[float] = []
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self.count += 1
+        self.sum += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+        self._buffer.append(v)
+        if len(self._buffer) >= self.capacity:
+            self._flush()
+
+    def _flush(self) -> None:
+        if not self._buffer:
+            return
+        merged = self._centroids + [[v, 1.0] for v in self._buffer]
+        merged.sort(key=lambda c: c[0])
+        self._buffer.clear()
+        while len(merged) > self.capacity:
+            merged = self._compact(merged)
+            self.compactions += 1
+        self._centroids = merged
+
+    @staticmethod
+    def _compact(centroids: list[list[float]]) -> list[list[float]]:
+        """Halve the centroid count by merging adjacent sorted pairs."""
+        out: list[list[float]] = []
+        it = iter(range(0, len(centroids) - 1, 2))
+        for i in it:
+            (v1, w1), (v2, w2) = centroids[i], centroids[i + 1]
+            w = w1 + w2
+            out.append([(v1 * w1 + v2 * w2) / w, w])
+        if len(centroids) % 2:
+            out.append(centroids[-1])
+        return out
+
+    @property
+    def exact(self) -> bool:
+        """True while quantiles are still bit-identical to Histogram."""
+        return self.compactions == 0
+
+    def quantile(self, q: float) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self.count:
+            raise ValueError("no observations")
+        self._flush()
+        cents = self._centroids
+        if self.compactions == 0:
+            # All weights are 1 — reproduce numpy's linear method exactly.
+            s = [c[0] for c in cents]
+            h = (len(s) - 1) * q
+            lo = math.floor(h)
+            hi = math.ceil(h)
+            if lo == hi:
+                return s[lo]
+            a, b, t = s[lo], s[hi], h - lo
+            if t >= 0.5:
+                return b - (b - a) * (1.0 - t)
+            return a + (b - a) * t
+        if q <= 0.0:
+            return self.min
+        if q >= 1.0:
+            return self.max
+        # Interpolate between centroid mean ranks in [0, count).
+        target = q * (self.count - 1)
+        cum = 0.0
+        prev_rank = None
+        prev_val = self.min
+        for v, w in cents:
+            rank = cum + (w - 1.0) / 2.0  # mean rank of this centroid
+            if target <= rank:
+                if prev_rank is None or rank == prev_rank:
+                    return v
+                t = (target - prev_rank) / (rank - prev_rank)
+                return prev_val + (v - prev_val) * t
+            prev_rank, prev_val = rank, v
+            cum += w
+        return self.max
+
+    # ------------------------------------------------------------ merge plane
+    def state(self) -> dict:
+        """Picklable snapshot used by MetricsRegistry.snapshot()."""
+        self._flush()
+        return {
+            "capacity": self.capacity,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "compactions": self.compactions,
+            "centroids": [list(c) for c in self._centroids],
+        }
+
+    def merge_state(self, state: Mapping) -> None:
+        if not state["count"]:
+            return
+        self._flush()
+        self.count += state["count"]
+        self.sum += state["sum"]
+        self.min = min(self.min, state["min"])
+        self.max = max(self.max, state["max"])
+        self.compactions += state["compactions"]
+        merged = self._centroids + [list(c) for c in state["centroids"]]
+        merged.sort(key=lambda c: c[0])
+        while len(merged) > self.capacity:
+            merged = self._compact(merged)
+            self.compactions += 1
+        self._centroids = merged
+
+    def merge(self, other: "QuantileSketch") -> None:
+        self.merge_state(other.state())
+
+    def approx_bytes(self) -> int:
+        """Rough bound on held memory: centroids + buffer floats."""
+        return 16 * len(self._centroids) + 8 * len(self._buffer) + 96
+
+
+class SketchHistogram:
+    """Histogram-compatible facade over a bounded :class:`QuantileSketch`.
+
+    Drop-in for :class:`Histogram` in the registry/exposition
+    (``observe``/``count``/``sum``/``quantile``) but holds O(capacity)
+    memory regardless of observation count. Selected per-registry via
+    ``MetricsRegistry(histogram_mode="sketch")``.
+    """
+
+    __slots__ = ("sketch",)
+
+    def __init__(self) -> None:
+        self.sketch = QuantileSketch()
+
+    def observe(self, value: float) -> None:
+        self.sketch.observe(value)
+
+    @property
+    def count(self) -> int:
+        return self.sketch.count
+
+    @property
+    def sum(self) -> float:
+        return self.sketch.sum
+
+    def quantile(self, q: float) -> float:
+        return self.sketch.quantile(q)
+
+
+_KIND_OF = {
+    Counter: "counter",
+    Gauge: "gauge",
+    Histogram: "summary",
+    SketchHistogram: "summary",
+}
 
 #: quantiles included in the Prometheus exposition of a histogram.
 EXPORT_QUANTILES = (0.5, 0.9, 0.99)
@@ -159,9 +358,17 @@ class MetricFamily:
 
 
 class MetricsRegistry:
-    """Creates-or-returns metric families and renders the exposition."""
+    """Creates-or-returns metric families and renders the exposition.
 
-    def __init__(self) -> None:
+    ``histogram_mode`` picks the child class ``histogram()`` families
+    use: ``"exact"`` (default — raw values, numpy-identical quantiles)
+    or ``"sketch"`` (bounded-memory :class:`SketchHistogram`).
+    """
+
+    def __init__(self, histogram_mode: str = "exact") -> None:
+        if histogram_mode not in ("exact", "sketch"):
+            raise ValueError(f"unknown histogram_mode {histogram_mode!r}")
+        self.histogram_mode = histogram_mode
         self._families: dict[str, MetricFamily] = {}
 
     def _family(self, name: str, help_text: str, labels: tuple[str, ...],
@@ -188,7 +395,8 @@ class MetricsRegistry:
 
     def histogram(self, name: str, help_text: str = "",
                   labels: tuple[str, ...] = ()) -> MetricFamily:
-        return self._family(name, help_text, labels, Histogram)
+        cls = SketchHistogram if self.histogram_mode == "sketch" else Histogram
+        return self._family(name, help_text, labels, cls)
 
     def families(self) -> Iterable[MetricFamily]:
         return self._families.values()
@@ -208,6 +416,8 @@ class MetricsRegistry:
             for key, child in fam.children():
                 if isinstance(child, Histogram):
                     children[key] = list(child._values)
+                elif isinstance(child, SketchHistogram):
+                    children[key] = {"sketch": child.sketch.state()}
                 else:
                     assert isinstance(child, (Counter, Gauge))
                     children[key] = child.value
@@ -237,13 +447,50 @@ class MetricsRegistry:
             )
             for key, payload in fam_snap["children"].items():
                 child = fam.labels(**dict(zip(fam.label_names, key)))
-                if isinstance(child, Histogram):
+                if isinstance(payload, Mapping) and "sketch" in payload:
+                    if not isinstance(child, SketchHistogram):
+                        raise ValueError(
+                            f"{name}: cannot merge a sketch snapshot into an "
+                            "exact histogram — exact quantiles need raw values"
+                        )
+                    child.sketch.merge_state(payload["sketch"])
+                elif isinstance(child, (Histogram, SketchHistogram)):
+                    # Raw-value payloads replay into either mode, so
+                    # exact-mode workers merge cleanly into a rollup parent.
                     for v in payload:
                         child.observe(v)
                 elif isinstance(child, Counter):
                     child.inc(payload)
                 else:
                     child.set(payload)
+
+    def approx_bytes(self) -> int:
+        """Rough accounting of bytes held by metric children.
+
+        Scalars count a fixed overhead; exact histograms count their
+        raw-value lists (8 bytes/float), sketches their bounded state.
+        Used by the resource profiler's obs self-accounting — a bound
+        on retained telemetry, not an exact heap measurement.
+        """
+        total = 0
+        for fam in self._families.values():
+            for _key, child in fam.children():
+                if isinstance(child, Histogram):
+                    total += 8 * len(child._values) + 64
+                elif isinstance(child, SketchHistogram):
+                    total += child.sketch.approx_bytes()
+                else:
+                    total += 32
+        return total
+
+    def observation_count(self) -> int:
+        """Total histogram observations across all families."""
+        return sum(
+            child.count
+            for fam in self._families.values()
+            for _key, child in fam.children()
+            if isinstance(child, (Histogram, SketchHistogram))
+        )
 
     def render_prometheus(self) -> str:
         """Prometheus text exposition format 0.0.4."""
@@ -258,7 +505,7 @@ class MetricsRegistry:
                 if isinstance(child, (Counter, Gauge)):
                     lines.append(f"{fam.name}{base} {child.value:g}")
                 else:
-                    assert isinstance(child, Histogram)
+                    assert isinstance(child, (Histogram, SketchHistogram))
                     for q in EXPORT_QUANTILES:
                         label = _render_labels(
                             fam.label_names, key, {"quantile": str(q)}

@@ -32,6 +32,7 @@ import threading as _threading
 from typing import Any, Callable, Iterator, Optional
 
 from .bus import Event, EventBus
+from .causal import TraceSampler
 from .export import (
     EventCollector,
     write_chrome_trace,
@@ -39,6 +40,7 @@ from .export import (
     write_text,
 )
 from .metrics import MetricsRegistry
+from .scale import RollupCollector
 from .spans import NULL_SPAN, NullSpan, Span
 
 
@@ -48,6 +50,21 @@ class Observability:
     ``enabled=False`` builds an inert instance whose ``emit``/``span``
     are no-ops; instrumentation sites additionally guard on ``enabled``
     so the disabled path does no argument packing at all.
+
+    ``retention`` picks the memory policy:
+
+    - ``"full"`` (default) — keep every event (when ``keep_events``)
+      and exact histograms; unchanged from the PR 1–6 behaviour.
+    - ``"rollup"`` — bounded memory for the 10⁵-peer scale push: events
+      stream through a :class:`~repro.obs.scale.RollupCollector`
+      (counters + windows + exemplars, never the stream) and histograms
+      become fixed-size quantile sketches
+      (``MetricsRegistry(histogram_mode="sketch")``).
+
+    ``causal_sample_rate`` (with ``causal=True``) keeps only a
+    seed-derived fraction of trace ids: at ``1/k``, 1-in-k rounds carry
+    spans.  The decision is per ``trace_id`` and identical across
+    parallel modes (see :class:`~repro.obs.causal.TraceSampler`).
     """
 
     def __init__(
@@ -55,7 +72,12 @@ class Observability:
         enabled: bool = True,
         keep_events: bool = True,
         causal: bool = False,
+        retention: str = "full",
+        causal_sample_rate: float = 1.0,
+        causal_sample_seed: int = 0,
     ) -> None:
+        if retention not in ("full", "rollup"):
+            raise ValueError(f"unknown retention policy {retention!r}")
         self.enabled = enabled
         #: opt-in causal tracing: when True (``observe(causal=True)``),
         #: ``Network.send`` allocates a TraceContext per message and
@@ -63,16 +85,35 @@ class Observability:
         #: the baseline event stream (and the bench sim fingerprint)
         #: is unchanged.
         self.causal = bool(causal)
+        self.retention = retention
+        #: None at the default rate of 1.0, so the per-send gate in
+        #: ``Network.send`` is a single attribute check.
+        self.sampler: Optional[TraceSampler] = (
+            TraceSampler(causal_sample_rate, causal_sample_seed)
+            if causal_sample_rate < 1.0 else None
+        )
         self.bus = EventBus()
-        self.metrics = MetricsRegistry()
+        self.metrics = MetricsRegistry(
+            histogram_mode="sketch" if retention == "rollup" else "exact"
+        )
         self.collector: Optional[EventCollector] = None
+        self.rollup: Optional[RollupCollector] = None
         #: optional attached sinks (see :meth:`attach_link` /
         #: :meth:`attach_flight`).
         self.link = None
         self.flight = None
-        if enabled and keep_events:
-            self.collector = EventCollector()
-            self.bus.subscribe(self.collector)
+        if enabled:
+            if retention == "rollup":
+                self.rollup = RollupCollector(seed=causal_sample_seed)
+                self.bus.subscribe(self.rollup)
+            elif keep_events:
+                self.collector = EventCollector()
+                self.bus.subscribe(self.collector)
+
+    def trace_kept(self, trace_id: str) -> bool:
+        """Head-based sampling decision for ``trace_id`` (default: keep)."""
+        sampler = self.sampler
+        return True if sampler is None else sampler.keep(trace_id)
 
     # ---------------------------------------------------------------- emission
     def emit(
@@ -143,9 +184,11 @@ class Observability:
     def attach_flight(self, **kwargs: Any):
         """Attach a :class:`~repro.obs.flight.FlightRecorder` to this bus."""
         from .flight import FlightRecorder  # lazy: keep import-time cost off
+        from .scale import resource_snapshot
 
         kwargs.setdefault("metrics", self.metrics)
         kwargs.setdefault("link", self.link)
+        kwargs.setdefault("resources", lambda: resource_snapshot(obs=self))
         self.flight = FlightRecorder(**kwargs)
         self.flight.attach(self.bus)
         return self.flight
@@ -195,6 +238,21 @@ class ThreadLocalObservability:
     @property
     def causal(self) -> bool:
         return self._current().causal
+
+    @property
+    def retention(self) -> str:
+        return self._current().retention
+
+    @property
+    def sampler(self):
+        return self._current().sampler
+
+    @property
+    def rollup(self):
+        return self._current().rollup
+
+    def trace_kept(self, trace_id: str) -> bool:
+        return self._current().trace_kept(trace_id)
 
     @property
     def bus(self) -> EventBus:

@@ -30,16 +30,34 @@ figure command.
 
 from __future__ import annotations
 
+import errno
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from .bus import Event, EventBus
 from .export import _json_default
 from .metrics import MetricsRegistry
 
-__all__ = ["StatusBoard", "MetricsServer"]
+__all__ = ["StatusBoard", "MetricsServer", "MetricsPortInUseError"]
+
+
+class MetricsPortInUseError(RuntimeError):
+    """Raised by :meth:`MetricsServer.start` when the port is taken.
+
+    A typed error so CLI front-ends can print one actionable line
+    (try ``--metrics-port 0`` for an ephemeral port) instead of a
+    traceback.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        super().__init__(
+            f"metrics port {host}:{port} is already in use "
+            "(pass --metrics-port 0 to bind an ephemeral port)"
+        )
 
 #: Content-Type of the Prometheus text exposition format.
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -149,12 +167,16 @@ class MetricsServer:
         link: Any = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        resources: Optional[Callable[[], dict]] = None,
     ) -> None:
         self.metrics = metrics
         self.status = status
         self.link = link
         self.host = host
         self.port = port
+        #: optional provider whose return value becomes the ``resources``
+        #: section of ``/status`` (see :func:`repro.obs.scale.resource_snapshot`).
+        self.resources = resources
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
 
@@ -192,7 +214,12 @@ class MetricsServer:
             def log_message(self, fmt: str, *args: Any) -> None:
                 pass  # quiet: scrapes would spam stderr
 
-        self._httpd = ThreadingHTTPServer((self.host, self.port), Handler)
+        try:
+            self._httpd = ThreadingHTTPServer((self.host, self.port), Handler)
+        except OSError as exc:
+            if exc.errno in (errno.EADDRINUSE, errno.EACCES):
+                raise MetricsPortInUseError(self.host, self.port) from exc
+            raise
         self._httpd.daemon_threads = True
         self.port = self._httpd.server_address[1]
         self._thread = threading.Thread(
@@ -229,4 +256,6 @@ class MetricsServer:
             doc.update(self.status.snapshot())
         if self.link is not None:
             doc["link"] = self.link.snapshot()
+        if self.resources is not None:
+            doc["resources"] = self.resources()
         return doc

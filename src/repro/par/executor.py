@@ -53,7 +53,9 @@ class CollectedResult:
 
 
 def _call_collected(fn: Callable, item: Any, collect: bool,
-                    causal: bool = False) -> CollectedResult:
+                    causal: bool = False,
+                    sample_rate: float = 1.0,
+                    sample_seed: int = 0) -> CollectedResult:
     """Run one job under a private observability pipeline.
 
     Works in all three execution contexts: in a worker *thread* the
@@ -62,10 +64,16 @@ def _call_collected(fn: Callable, item: Any, collect: bool,
     *process* (or inline) the private pipeline is installed globally for
     the duration of the call.  ``causal`` carries the parent pipeline's
     causal-tracing flag into the worker so span-carrying events are
-    produced (or not) exactly as on the sequential path.
+    produced (or not) exactly as on the sequential path, and
+    ``sample_rate``/``sample_seed`` carry its trace-sampling config so
+    the per-trace keep/drop decision (a pure function of seed and
+    trace id) is identical in every mode.  Workers always run full
+    retention — their streams are bounded by one subgroup's size and
+    raw histogram payloads merge into either parent mode.
     """
     obs = _runtime.Observability(
-        enabled=collect, keep_events=collect, causal=causal
+        enabled=collect, keep_events=collect, causal=causal,
+        causal_sample_rate=sample_rate, causal_sample_seed=sample_seed,
     )
     current = _runtime.get()
     if isinstance(current, _runtime.ThreadLocalObservability):
@@ -121,8 +129,12 @@ def run_jobs(fn: Callable, items: Sequence[Any], mode: str) -> list:
         raise RuntimeError("nested parallel fan-out is not supported")
     collect = parent.enabled
     causal = bool(getattr(parent, "causal", False))
+    sampler = getattr(parent, "sampler", None)
+    sample_rate = sampler.rate if sampler is not None else 1.0
+    sample_seed = sampler.seed if sampler is not None else 0
     calls = [
-        functools.partial(_call_collected, fn, item, collect, causal)
+        functools.partial(_call_collected, fn, item, collect, causal,
+                          sample_rate, sample_seed)
         for item in items
     ]
     collected = _fan_out(calls, mode, parent)

@@ -52,11 +52,16 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._seq = 0
+        #: high-water mark of heap entries (cancelled included — that is
+        #: the honest memory occupancy of the lazy-cancellation design).
+        self.peak_pending = 0
 
     def push(self, time: float, callback: Callable[[], None]) -> Event:
         event = Event(time=time, seq=self._seq, callback=callback)
         self._seq += 1
         heapq.heappush(self._heap, event)
+        if len(self._heap) > self.peak_pending:
+            self.peak_pending = len(self._heap)
         return event
 
     def pop(self) -> Optional[Event]:
@@ -103,6 +108,20 @@ class Simulator:
     def now(self) -> float:
         """Current virtual time in milliseconds."""
         return self._now
+
+    def heap_stats(self) -> dict:
+        """Occupancy of the event heap — fed to the resource profiler.
+
+        ``pending`` counts raw heap entries (cancelled included, since
+        they hold memory until popped); ``peak_pending`` is the
+        high-water mark over the simulation so far.
+        """
+        return {
+            "pending": len(self._queue._heap),
+            "peak_pending": self._queue.peak_pending,
+            "scheduled_total": self._queue._seq,
+            "events_processed": self.events_processed,
+        }
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
         """Schedule ``callback`` to run ``delay`` ms from now.

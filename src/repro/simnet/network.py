@@ -213,6 +213,12 @@ class Network:
         self._node_ids_cache: Optional[list[int]] = None
         self._alive_ids_cache: Optional[list[int]] = None
         self._fault_free = True
+        #: live message-object accounting for the resource profiler:
+        #: messages scheduled but not yet delivered/dropped, and the
+        #: high-water mark.  Two integer ops per message — cheap enough
+        #: to stay inside the disabled-path overhead budget.
+        self.in_flight = 0
+        self.peak_in_flight = 0
 
     # ------------------------------------------------------------------ nodes
     def register(self, node: Any) -> None:
@@ -361,9 +367,14 @@ class Network:
         the message being delivered (or timer firing) right now.
         """
         obs = _obs.OBS
+        # Head-based sampling: the keep/drop decision is per trace_id
+        # (seed-derived, mode-independent), so an unsampled round
+        # allocates no contexts and advances no channel counters —
+        # kept rounds' span ids match the unsampled run exactly.
         ctx = (
             self.alloc_context(src, dst, kind, size_bits)
-            if obs.enabled and obs.causal else None
+            if obs.enabled and obs.causal and obs.trace_kept(self.trace_id)
+            else None
         )
         if self.reliable is not None:
             if dst not in self._nodes:
@@ -431,6 +442,7 @@ class Network:
                 delay += transfer_ms
 
         def deliver() -> None:
+            self.in_flight -= 1
             # The destination may have crashed while the message was in
             # flight; a real TCP stack would RST, we just drop.
             if not self.link_up(src, dst):
@@ -465,6 +477,9 @@ class Network:
             else:
                 self.deliver_to_node(src, dst, msg)
 
+        self.in_flight += 1
+        if self.in_flight > self.peak_in_flight:
+            self.peak_in_flight = self.in_flight
         self.sim.schedule(delay, deliver)
 
     def deliver_to_node(self, src: int, dst: int, msg: Any) -> None:

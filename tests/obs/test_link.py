@@ -122,6 +122,48 @@ class TestLinkTelemetry:
                                        "span": f"0>1:x#{i}"}))
         assert link.snapshot()["in_flight"] == 8
 
+    def test_sustained_loss_bounds_pending_without_corrupting_ewma(self):
+        # A black-holed link: sends whose deliveries never come must not
+        # grow the pending map, and the evictions must not distort the
+        # latency estimators of the healthy link sharing the telemetry.
+        from repro.obs.bus import Event
+
+        link = LinkTelemetry(max_pending=16, alpha=0.5)
+        seq = 0
+
+        def send(src, dst, t, tag):
+            nonlocal seq
+            link(Event(seq=seq, name="net.send", t_ms=t, wall_s=0.0,
+                       node=src, fields={"dst": dst, "kind": "x",
+                                         "span": tag}))
+            seq += 1
+
+        def deliver(src, dst, t, tag):
+            nonlocal seq
+            link(Event(seq=seq, name="net.deliver", t_ms=t, wall_s=0.0,
+                       node=src, fields={"dst": dst, "kind": "x",
+                                         "span": tag}))
+            seq += 1
+
+        for i in range(500):
+            # lost frame into the black hole ...
+            send(0, 9, float(i), f"0>9:x#{i}")
+            link(Event(seq=seq, name="net.drop", t_ms=float(i), wall_s=0.0,
+                       node=0, fields={"dst": 9, "kind": "x"}))
+            seq += 1
+            # ... while the healthy link keeps a constant 15 ms latency.
+            send(1, 2, float(i), f"1>2:x#{i}")
+            deliver(1, 2, float(i) + 15.0, f"1>2:x#{i}")
+        assert link.snapshot()["in_flight"] <= 16
+        healthy = link.pair(1, 2)
+        assert healthy.latency_ewma_ms == 15.0
+        assert healthy.latency_window_ms == 15.0
+        assert healthy.loss_rate == 0.0
+        lossy = link.pair(0, 9)
+        assert lossy.dropped == 500
+        assert lossy.loss_rate == 1.0
+        assert lossy.latency_ewma_ms is None  # nothing ever delivered
+
     def test_matrix_and_snapshot_shapes(self):
         with _runtime.observe(causal=True) as obs:
             link = obs.attach_link()

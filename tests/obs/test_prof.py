@@ -224,3 +224,59 @@ def test_profiler_on_real_wire_round_is_deterministic():
     # Every delivered bit lands in exactly one phase of the tree.
     assert round_phase["bits"] + sac_phase["bits"] == bits
     assert sac_phase["straggler"] is not None
+
+
+class TestResourceProfiler:
+    def test_phases_record_alloc_deltas(self):
+        import numpy as np
+
+        from repro.obs.prof import ResourceProfiler
+
+        with ResourceProfiler() as rp:
+            with rp.phase("allocate"):
+                blob = np.zeros(1_000_000)  # ~8 MB
+            del blob  # per-phase peak tracks *live* traced memory
+            with rp.phase("idle"):
+                pass
+        names = [name for name, _ in rp.phases]
+        assert names == ["allocate", "idle"]
+        alloc = dict(rp.phases)["allocate"]
+        assert alloc["alloc_peak_bytes"] >= 8_000_000
+        assert alloc["alloc_delta_bytes"] >= 8_000_000
+        idle = dict(rp.phases)["idle"]
+        assert idle["alloc_peak_bytes"] < 8_000_000
+
+    def test_close_stops_only_own_tracing(self):
+        import tracemalloc
+
+        from repro.obs.prof import ResourceProfiler
+
+        assert not tracemalloc.is_tracing()
+        rp = ResourceProfiler()
+        with rp.phase("p"):
+            pass
+        assert tracemalloc.is_tracing()
+        rp.close()
+        assert not tracemalloc.is_tracing()
+        # If someone else started tracing, close() must leave it alone.
+        tracemalloc.start()
+        try:
+            rp2 = ResourceProfiler()
+            with rp2.phase("q"):
+                pass
+            rp2.close()
+            assert tracemalloc.is_tracing()
+        finally:
+            tracemalloc.stop()
+
+    def test_json_and_table_rendering(self):
+        from repro.obs.prof import ResourceProfiler
+
+        with ResourceProfiler() as rp:
+            with rp.phase("only"):
+                pass
+        doc = rp.to_json()
+        assert doc["phases"][0]["name"] == "only"
+        table = rp.format_table()
+        assert "resource profile" in table
+        assert "only" in table

@@ -1,0 +1,162 @@
+"""Bounded-memory quantile sketches.
+
+The contract: exact (bit-identical to the numpy linear-interpolation
+quantile) until the first compaction, bounded rank error afterwards,
+deterministic, mergeable, and wired into the registry as the
+``histogram_mode="sketch"`` retention path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    QuantileSketch,
+    SketchHistogram,
+)
+
+QS = (0.0, 0.25, 0.5, 0.9, 0.99, 1.0)
+
+
+def _rank_error(sketch, values, q):
+    """|rank(estimate) - q| over the sorted sample, in [0, 1]."""
+    est = sketch.quantile(q)
+    ordered = np.sort(values)
+    rank = np.searchsorted(ordered, est, side="right") / len(ordered)
+    return abs(rank - q)
+
+
+class TestExactPhase:
+    def test_bit_identical_to_numpy_until_first_compaction(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=QuantileSketch.DEFAULT_CAPACITY).tolist()
+        sketch = QuantileSketch()
+        for v in values:
+            sketch.observe(v)
+        assert sketch.exact
+        for q in QS:
+            assert sketch.quantile(q) == float(
+                np.quantile(values, q, method="linear")
+            )
+
+    def test_count_sum_min_max(self):
+        sketch = QuantileSketch(capacity=8)
+        for v in [3.0, 1.0, 2.0, 5.0, 4.0]:
+            sketch.observe(v)
+        assert sketch.count == 5
+        assert sketch.sum == 15.0
+        assert sketch.min == 1.0
+        assert sketch.max == 5.0
+
+    def test_empty_quantile_raises(self):
+        with pytest.raises(ValueError, match="no observations"):
+            QuantileSketch().quantile(0.5)
+
+
+class TestCompactedPhase:
+    def test_memory_is_bounded_and_error_is_small(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=50_000)
+        sketch = QuantileSketch(capacity=256)
+        for v in values:
+            sketch.observe(v)
+        assert not sketch.exact
+        assert sketch.compactions > 0
+        # Bounded memory: centroids never exceed capacity after a flush.
+        assert len(sketch._centroids) <= 256
+        assert sketch.approx_bytes() < 16 * 256 + 8 * 256 + 96 + 1
+        # Rank error stays well inside the documented ~1% envelope.
+        for q in QS[1:-1]:
+            assert _rank_error(sketch, values, q) < 0.02
+        assert sketch.quantile(0.0) == float(values.min())
+        assert sketch.quantile(1.0) == float(values.max())
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(2)
+        values = rng.normal(size=5_000).tolist()
+        a, b = QuantileSketch(capacity=128), QuantileSketch(capacity=128)
+        for v in values:
+            a.observe(v)
+            b.observe(v)
+        assert a.state() == b.state()
+
+
+class TestMerge:
+    def test_merge_matches_pooled_observation(self):
+        rng = np.random.default_rng(3)
+        left = rng.normal(size=2_000)
+        right = rng.normal(loc=3.0, size=2_000)
+        a = QuantileSketch(capacity=128)
+        b = QuantileSketch(capacity=128)
+        for v in left:
+            a.observe(v)
+        for v in right:
+            b.observe(v)
+        a.merge(b)
+        pooled = np.concatenate([left, right])
+        assert a.count == len(pooled)
+        assert a.sum == pytest.approx(pooled.sum())
+        for q in QS[1:-1]:
+            assert _rank_error(a, pooled, q) < 0.03
+
+    def test_state_roundtrip(self):
+        a = QuantileSketch(capacity=16)
+        for v in range(100):
+            a.observe(float(v))
+        b = QuantileSketch(capacity=16)
+        b.merge_state(a.state())
+        for q in QS:
+            assert b.quantile(q) == a.quantile(q)
+
+
+class TestRegistryIntegration:
+    def test_sketch_mode_builds_sketch_histograms(self):
+        reg = MetricsRegistry(histogram_mode="sketch")
+        hist = reg.histogram("h_ms", "help")
+        assert isinstance(hist.labels(), SketchHistogram)
+        reg_exact = MetricsRegistry()
+        assert isinstance(reg_exact.histogram("h_ms", "help").labels(),
+                          Histogram)
+
+    def test_exact_worker_merges_into_sketch_parent(self):
+        worker = MetricsRegistry()
+        worker.histogram("h_ms", "help").labels().observe(5.0)
+        worker.histogram("h_ms", "help").labels().observe(7.0)
+        parent = MetricsRegistry(histogram_mode="sketch")
+        parent.merge_snapshot(worker.snapshot())
+        child = parent.histogram("h_ms", "help").labels()
+        assert child.count == 2
+        assert child.sum == 12.0
+
+    def test_sketch_snapshot_merges_into_sketch_parent(self):
+        worker = MetricsRegistry(histogram_mode="sketch")
+        for v in range(10):
+            worker.histogram("h_ms", "help").labels().observe(float(v))
+        parent = MetricsRegistry(histogram_mode="sketch")
+        parent.merge_snapshot(worker.snapshot())
+        assert parent.histogram("h_ms", "help").labels().count == 10
+
+    def test_sketch_snapshot_cannot_merge_into_exact_parent(self):
+        worker = MetricsRegistry(histogram_mode="sketch")
+        worker.histogram("h_ms", "help").labels().observe(1.0)
+        parent = MetricsRegistry()
+        with pytest.raises(ValueError, match="exact histogram"):
+            parent.merge_snapshot(worker.snapshot())
+
+    def test_prometheus_render_includes_sketch_quantiles(self):
+        reg = MetricsRegistry(histogram_mode="sketch")
+        for v in range(100):
+            reg.histogram("h_ms", "help").labels().observe(float(v))
+        text = reg.render_prometheus()
+        assert 'h_ms{quantile="0.5"}' in text
+        assert "h_ms_count 100" in text
+
+    def test_registry_approx_bytes_tracks_growth(self):
+        reg = MetricsRegistry()
+        before = reg.approx_bytes()
+        hist = reg.histogram("h_ms", "help").labels()
+        for v in range(1000):
+            hist.observe(float(v))
+        assert reg.approx_bytes() > before + 8 * 1000 - 1
+        assert reg.observation_count() == 1000

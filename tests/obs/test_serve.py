@@ -11,7 +11,12 @@ import pytest
 
 from repro.obs import runtime as _runtime
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.serve import PROMETHEUS_CONTENT_TYPE, MetricsServer, StatusBoard
+from repro.obs.serve import (
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsPortInUseError,
+    MetricsServer,
+    StatusBoard,
+)
 from repro.secure.protocol import run_sac_protocol
 
 
@@ -84,6 +89,37 @@ class TestMetricsServer:
                 server.start()
         finally:
             server.stop()
+
+    def test_port_in_use_raises_typed_error(self, registry):
+        with MetricsServer(metrics=registry) as first:
+            second = MetricsServer(metrics=registry, port=first.port)
+            with pytest.raises(MetricsPortInUseError) as err:
+                second.start()
+        assert err.value.port == first.port
+        assert "already in use" in str(err.value)
+        assert "--metrics-port 0" in str(err.value)
+        # The failed server holds no listener; an ephemeral retry works.
+        second.port = 0
+        with second:
+            assert second.port != 0
+
+    def test_status_resources_section(self, registry):
+        from repro.obs import runtime as _runtime
+        from repro.obs.scale import resource_snapshot
+
+        with _runtime.observe(retention="rollup") as obs:
+            obs.emit("tick", t_ms=0.0)
+            server = MetricsServer(
+                metrics=obs.metrics,
+                resources=lambda: resource_snapshot(obs=obs),
+            ).start()
+            try:
+                _, _, body = _get(f"{server.url}/status")
+            finally:
+                server.stop()
+        doc = json.loads(body)
+        assert doc["resources"]["obs"]["retention"] == "rollup"
+        assert doc["resources"]["obs"]["rollup_events_seen"] == 1
 
 
 class TestStatusBoard:
