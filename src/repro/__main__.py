@@ -64,8 +64,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "figure",
         choices=[
             "env", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-            "fig12", "fig13", "fig14", "multilayer", "all", "report",
-            "plan", "trace", "bench", "prof", "chaos", "serve-metrics",
+            "fig12", "fig13", "fig14", "multilayer", "xlayer", "all",
+            "report", "plan", "trace", "bench", "prof", "chaos",
+            "serve-metrics",
         ],
         help="which table/figure to regenerate ('report' writes everything "
         "to a markdown file; 'plan' runs the deployment planner; 'trace' "
@@ -74,7 +75,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "--compare, gates two BENCH artifacts against each other; 'chaos' "
         "runs seeded fault-injection campaigns and exits non-zero on any "
         "safety violation; 'serve-metrics' runs a live chaos campaign "
-        "serving /metrics and /status over HTTP)",
+        "serving /metrics and /status over HTTP; 'xlayer' runs one "
+        "X-layer round over the simulated wire at --peers scale and "
+        "checks it against the Eq. 10 closed forms)",
     )
     parser.add_argument("--out", default="report.md",
                         help="output path for 'report'")
@@ -171,6 +174,17 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--incident-dir", default="incident_out",
                         help="'serve-metrics': flight-recorder incident "
                         "dump directory (default: incident_out)")
+    parser.add_argument("--depth", type=int, default=6,
+                        help="'xlayer': tree depth X (default: 6)")
+    parser.add_argument("--engine", default="wave",
+                        choices=["wave", "scalar"],
+                        help="'xlayer': delivery engine (default: wave)")
+    parser.add_argument("--delay-ms", type=float, default=15.0,
+                        help="'xlayer': fixed per-hop latency in "
+                        "virtual ms (default: 15)")
+    parser.add_argument("--dim", type=int, default=64,
+                        help="'xlayer': model parameters per peer "
+                        "(default: 64)")
     return parser
 
 
@@ -287,6 +301,82 @@ def _run_prof(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_xlayer(args: argparse.Namespace) -> int:
+    """One X-layer round over the simulated wire, pinned to Eq. 10."""
+    import time
+
+    import numpy as np
+
+    from .core import (
+        MultiLayerTopology,
+        multi_layer_cost_bits,
+        multi_layer_message_count,
+        multi_layer_round_latency_ms,
+        run_xlayer_wire_round,
+    )
+    from .core.costs import multi_layer_total_peers
+    from .simnet import FixedLatency
+
+    depth = args.depth
+    target = args.peers or 1_000
+    # Smallest subgroup size whose depth-X tree reaches the requested
+    # peer count (Eq. 6 grows as n (n-1)^{depth-1}).
+    n = 2
+    while multi_layer_total_peers(n, depth) < target:
+        n += 1
+    topology = MultiLayerTopology(n, depth)
+    n_peers = topology.n_peers
+    d = args.dim
+    models = np.random.default_rng([args.seed, 7]).normal(size=(n_peers, d))
+
+    print(f"X-layer wire round: n={n}, depth={depth}, "
+          f"N={n_peers:,} peers (requested {target:,}), "
+          f"d={d}, engine={args.engine}")
+    t0 = time.perf_counter()
+    result = run_xlayer_wire_round(
+        topology, models, seed=args.seed,
+        latency=FixedLatency(args.delay_ms), engine=args.engine,
+        parallel=args.parallel or "off",
+    )
+    wall = time.perf_counter() - t0
+
+    print(f"\n{'layer':>5} {'method':>7} {'groups':>9} {'start ms':>10} "
+          f"{'done ms':>10} {'messages':>10} {'Mb':>9}")
+    for st in result.layer_stats:
+        print(f"{st.layer:>5} {st.method:>7} {st.groups:>9,} "
+              f"{st.start_ms:>10.1f} {st.done_ms:>10.1f} "
+              f"{st.messages:>10,} {st.bits / 1e6:>9.2f}")
+    bcast = result.bits_by_kind.get("xl.bcast", 0.0)
+    print(f"{'bcast':>5} {'relay':>7} {'':>9} {result.agg_done_ms:>10.1f} "
+          f"{result.finish_time_ms:>10.1f} {n_peers - 1:>10,} "
+          f"{bcast / 1e6:>9.2f}")
+
+    closed_bits = multi_layer_cost_bits(n, depth, d)
+    closed_msgs = multi_layer_message_count(n, depth)
+    closed_ms = multi_layer_round_latency_ms(depth, args.delay_ms)
+    print(f"\nbits:     measured {result.bits_sent / 1e9:.4f} Gb, "
+          f"Eq. 10 {closed_bits / 1e9:.4f} Gb, "
+          f"delta {result.bits_sent - closed_bits:+.0f}")
+    print(f"messages: measured {result.messages_sent:,}, "
+          f"closed form {closed_msgs:,}, "
+          f"delta {result.messages_sent - closed_msgs:+d}")
+    print(f"finish:   measured {result.finish_time_ms:.3f} sim-ms, "
+          f"closed form {closed_ms:.3f} sim-ms, "
+          f"delta {result.finish_time_ms - closed_ms:+.3f}")
+    hs = result.heap_stats
+    print(f"wall:     {wall:.2f} s — {n_peers / wall:,.0f} peers/s, "
+          f"{result.messages_sent / wall:,.0f} msgs/s, "
+          f"{hs['events_processed']:,} heap events "
+          f"({hs['compactions']} compactions)")
+    exact = (
+        result.bits_sent == closed_bits
+        and result.messages_sent == closed_msgs
+        and result.finish_time_ms == closed_ms
+    )
+    print(f"closed-form match: {'exact' if exact else 'MISMATCH'}")
+    return 0 if exact else 1
+
+
 def _run_chaos(args: argparse.Namespace) -> int:
     from .chaos import LAYERS, format_matrix, run_chaos_matrix
 
@@ -388,6 +478,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.figure == "prof":
         return _run_prof(args)
+
+    if args.figure == "xlayer":
+        return _run_xlayer(args)
 
     if args.figure == "chaos":
         return _run_chaos(args)

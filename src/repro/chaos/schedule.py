@@ -129,6 +129,16 @@ class _SpikedLatency:
             delay += self.spike.extra_delay_ms
         return delay
 
+    def sample_batch(
+        self, src_ids: np.ndarray, dst_ids: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        delays = self.base.sample_batch(src_ids, dst_ids, rng)
+        if self._affected is None:
+            return delays + self.spike.extra_delay_ms
+        affected = np.fromiter(self._affected, dtype=np.int64)
+        hit = np.isin(src_ids, affected) | np.isin(dst_ids, affected)
+        return delays + np.where(hit, self.spike.extra_delay_ms, 0.0)
+
 
 @dataclass(frozen=True)
 class FaultSchedule:

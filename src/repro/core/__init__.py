@@ -14,6 +14,7 @@ from .checkpoint import Checkpoint, load_checkpoint, save_checkpoint
 from .costs import (
     fedavg_only_cost_bits,
     multi_layer_cost_bits,
+    multi_layer_message_count,
     multi_layer_mixed_cost_bits,
     one_layer_sac_cost_bits,
     one_layer_sac_seeded_cost_bits,
@@ -29,6 +30,7 @@ from .costs import (
 )
 from .latency import (
     ft_sac_latency_ms,
+    multi_layer_round_latency_ms,
     one_layer_sac_latency_ms,
     two_layer_round_latency_ms,
 )
@@ -38,6 +40,11 @@ from .session import SessionConfig, run_session
 from .topology import Topology
 from .two_layer import AggregateResult, TwoLayerAggregator
 from .wire_round import WireRoundResult, run_two_layer_wire_round
+from .xlayer_wire import (
+    XLayerLayerStats,
+    XLayerWireResult,
+    run_xlayer_wire_round,
+)
 
 __all__ = [
     "Topology",
@@ -68,6 +75,11 @@ __all__ = [
     "recommend",
     "run_two_layer_wire_round",
     "WireRoundResult",
+    "run_xlayer_wire_round",
+    "XLayerWireResult",
+    "XLayerLayerStats",
+    "multi_layer_message_count",
+    "multi_layer_round_latency_ms",
     "one_layer_sac_seeded_cost_bits",
     "seeded_exchange_bits",
     "two_layer_seeded_cost_bits",

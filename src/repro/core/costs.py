@@ -287,6 +287,35 @@ def multi_layer_mixed_cost_bits(
     return total * w
 
 
+def multi_layer_message_count(
+    n: int, depth: int, sac_layers: set[int] | None = None
+) -> int:
+    """Wire messages of one X-layer round (every message carries ``|w|``).
+
+    A SAC layer ships ``n (n-1)`` shares plus ``n-1`` subtotals per
+    group, a FedAvg layer ``n-1`` uploads; distribution adds ``N-1``
+    broadcasts.  Multiplying by ``|w|`` recovers
+    :func:`multi_layer_cost_bits` / :func:`multi_layer_mixed_cost_bits`
+    exactly, which is how the wire tests pin
+    :func:`repro.core.xlayer_wire.run_xlayer_wire_round` to Eq. 10.
+    """
+    if n < 2:
+        raise ValueError("multi-layer trees need n >= 2")
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    if sac_layers is None:
+        sac_layers = set(range(1, depth + 1))
+    bad = {l for l in sac_layers if not 1 <= l <= depth}
+    if bad:
+        raise ValueError(f"sac_layers out of range: {sorted(bad)}")
+    total = 0
+    for layer in range(1, depth + 1):
+        groups = multi_layer_groups_at(n, layer)
+        per_group = (n * n - 1) if layer in sac_layers else (n - 1)
+        total += groups * per_group
+    return total + multi_layer_total_peers(n, depth) - 1
+
+
 def reduction_factor(
     n_total: int,
     m: int,

@@ -85,6 +85,33 @@ def one_layer_sac_latency_ms(
     return 2 * per_phase
 
 
+def multi_layer_round_latency_ms(
+    depth: int,
+    delay_ms: float = 15.0,
+    sac_layers: set[int] | None = None,
+) -> float:
+    """Finish time of one X-layer round under a fixed per-hop delay.
+
+    With every link costing exactly ``delay_ms`` (no bandwidth term),
+    each SAC layer takes two hops (share exchange, then subtotal
+    collection), each FedAvg layer one; layers aggregate strictly
+    bottom-up, and distribution relays the final model down ``depth``
+    leader hops.  This is the closed form the X-layer wire round's
+    ``finish_time_ms`` must reproduce exactly under
+    :class:`~repro.simnet.network.FixedLatency` — the CLI's
+    measured-vs-closed-form delta.
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    if sac_layers is None:
+        sac_layers = set(range(1, depth + 1))
+    agg = sum(
+        (2 if layer in sac_layers else 1) * delay_ms
+        for layer in range(1, depth + 1)
+    )
+    return agg + depth * delay_ms
+
+
 def two_layer_round_latency_ms(
     topology: Topology,
     k: int | None,

@@ -69,6 +69,7 @@ class MultiLayerTopology:
                 new_peers.extend(followers)
             eligible_leaders = new_peers
         self._n_peers = next_id
+        self._member_matrix_cache: dict[int, np.ndarray] = {}
 
     @property
     def n_peers(self) -> int:
@@ -80,6 +81,22 @@ class MultiLayerTopology:
 
     def groups_at(self, layer: int) -> list[_Group]:
         return [g for g in self.groups if g.layer == layer]
+
+    def member_matrix(self, layer: int) -> np.ndarray:
+        """All layer-``layer`` subgroups as one ``(groups, n)`` id array.
+
+        Row ``g`` is ``groups_at(layer)[g].members`` (leader in column
+        0), the shape the vectorized X-layer wire round consumes.
+        Cached per layer — at 10^5+ peers rebuilding it per call would
+        dominate the round.
+        """
+        cached = self._member_matrix_cache.get(layer)
+        if cached is None:
+            cached = np.array(
+                [g.members for g in self.groups_at(layer)], dtype=np.int64
+            ).reshape(-1, self.n)
+            self._member_matrix_cache[layer] = cached
+        return cached
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,291 @@
+"""X-layer aggregation over the simulated wire (paper Sec. VII-C, Eq. 10).
+
+:func:`run_xlayer_wire_round` executes a :class:`MultiLayerTopology`
+tree bottom-up over the :mod:`repro.simnet` wire — the scaling story of
+the paper, run honestly: every share, subtotal and broadcast crosses the
+simulated network with sampled latency, and the bits on the wire are
+pinned bit-for-bit against the Eq. 10 closed forms in
+:mod:`repro.core.costs`.
+
+Everything is vectorized per *layer*, not per group:
+
+- the share math for all ``G`` subgroups of a layer is one
+  ``(G x n, d)`` pass through the :mod:`repro.secure.batched` kernels,
+  consuming the RNG stream exactly as :func:`multi_layer_aggregate`'s
+  per-member :func:`~repro.secure.additive.divide` calls do — the
+  aggregate it computes is identical;
+- the wire traffic of a layer is a handful of
+  :meth:`~repro.simnet.network.Network.send_batch` delivery waves
+  (``xl.share``, ``xl.subtotal`` / ``xl.upload``, then a top-down
+  ``xl.bcast``), each one heap entry regardless of group count;
+- with ``parallel={"threads","process"}`` the share *math* of a layer
+  is chunked across workers via :mod:`repro.par` — all randomness is
+  drawn on the parent stream first, so results are bit-identical to
+  ``"off"``.
+
+Peers are modelled by their ids alone (accounting waves, no actor
+objects), which is what makes 10^5-10^6 simulated peers tractable.
+``engine="scalar"`` replays the identical schedule through per-message
+heap events — the honest pre-wave baseline the ``xlayer_scale`` bench
+compares against; delivery times, trace totals and the final average
+are bit-identical across engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..obs import runtime as _obs
+from ..par import check_parallel_mode, run_jobs
+from ..secure.batched import apply_divide_noise, draw_divide_noise
+from ..secure.sac import DEFAULT_BITS_PER_PARAM
+from ..simnet import Network, Simulator
+from ..simnet.network import LatencyModel
+from ..simnet.waves import check_engine
+from .multi_layer import MultiLayerTopology
+
+#: message kinds an X-layer round puts on the wire.
+XLAYER_KINDS = ("xl.share", "xl.subtotal", "xl.upload", "xl.bcast")
+
+
+@dataclass(frozen=True)
+class XLayerLayerStats:
+    """Wire activity of one layer's aggregation step."""
+
+    layer: int
+    method: str
+    groups: int
+    start_ms: float  #: earliest group start (all member inputs ready)
+    done_ms: float  #: latest leader-ready time
+    bits: float
+    messages: int
+
+
+@dataclass(frozen=True)
+class XLayerWireResult:
+    """Outcome of one X-layer round over the simulated wire."""
+
+    average: np.ndarray
+    finish_time_ms: float  #: last model broadcast arrival
+    agg_done_ms: float  #: root aggregate complete (before distribution)
+    bits_sent: float
+    messages_sent: int
+    n_peers: int
+    n_groups: int
+    engine: str
+    layer_stats: tuple[XLayerLayerStats, ...]
+    bits_by_kind: dict
+    heap_stats: dict
+
+    @property
+    def gigabits(self) -> float:
+        return self.bits_sent / 1e9
+
+
+@dataclass(frozen=True)
+class _ShareChunk:
+    """One worker's slice of a layer's share math (groups are whole)."""
+
+    vals: np.ndarray  # (rows, d) member values, group-major
+    rn: np.ndarray  # (rows, n) split noise (drawn on the parent stream)
+    totals: np.ndarray  # (rows,) noise row sums
+    n: int
+
+
+def _share_chunk_subtotals(chunk: _ShareChunk) -> np.ndarray:
+    """Shares + per-index subtotals for one chunk: ``(G_c, n, d)``.
+
+    Pure function of the pre-drawn noise — safe to fan across workers,
+    and only the subtotals (not the ``n``-times-larger share tensor)
+    cross the process boundary.
+    """
+    shares = apply_divide_noise(chunk.vals, chunk.rn, chunk.totals)
+    g_c = chunk.vals.shape[0] // chunk.n
+    d = chunk.vals.shape[1]
+    # sub[g, j] = sum over owners i of share_{i -> j}; summing axis 1
+    # reduces the owner axis in index order, same as the per-group path.
+    return shares.reshape(g_c, chunk.n, chunk.n, d).sum(axis=1)
+
+
+def _layer_subtotals(
+    vals: np.ndarray, n: int, rng: np.random.Generator, parallel: str
+) -> np.ndarray:
+    """SAC subtotals for a whole layer: ``(G*n, d) -> (G, n, d)``."""
+    import os
+
+    rows, d = vals.shape
+    g = rows // n
+    rn, totals = draw_divide_noise(rows, n, rng)
+    if parallel == "off" or g < 2:
+        return _share_chunk_subtotals(_ShareChunk(vals, rn, totals, n))
+    n_chunks = min(g, 4 * (os.cpu_count() or 1))
+    bounds = [(g * i // n_chunks) * n for i in range(n_chunks + 1)]
+    chunks = [
+        _ShareChunk(vals[lo:hi], rn[lo:hi], totals[lo:hi], n)
+        for lo, hi in zip(bounds, bounds[1:])
+        if hi > lo
+    ]
+    subs = run_jobs(_share_chunk_subtotals, chunks, parallel)
+    return np.concatenate(subs, axis=0)
+
+
+def run_xlayer_wire_round(
+    topology: MultiLayerTopology,
+    models: np.ndarray | Sequence[np.ndarray],
+    seed: int = 0,
+    bits_per_param: int = DEFAULT_BITS_PER_PARAM,
+    method_for_layer: Callable[[int], str] | None = None,
+    latency: LatencyModel | None = None,
+    engine: str = "wave",
+    parallel: str = "off",
+) -> XLayerWireResult:
+    """Run one X-layer aggregation round over the simulated wire.
+
+    ``models`` is an ``(N, d)`` array (or sequence of ``d``-vectors),
+    one row per peer in breadth-first id order.  Values are carried as
+    ``(sum, count)`` pairs exactly as in
+    :func:`~repro.core.multi_layer.multi_layer_aggregate` — with the
+    same ``seed`` the returned ``average`` is identical.
+
+    Per layer (bottom-up), a SAC group of size ``n`` ships
+    ``n (n-1)`` shares and ``n-1`` subtotals of ``|w|`` bits; a FedAvg
+    group ships ``n-1`` uploads; distribution of the final model adds
+    one ``|w|`` message per non-root peer.  Totals equal
+    :func:`repro.core.costs.multi_layer_cost_bits` (all-SAC) or
+    :func:`~repro.core.costs.multi_layer_mixed_cost_bits` bit for bit.
+    """
+    check_engine(engine)
+    check_parallel_mode(parallel)
+    if method_for_layer is None:
+        method_for_layer = lambda layer: "sac"
+    n = topology.n
+    n_peers = topology.n_peers
+    sums = np.array(models, dtype=np.float64)
+    if sums.ndim != 2 or sums.shape[0] != n_peers:
+        raise ValueError(
+            f"expected {n_peers} model rows, got shape {sums.shape}"
+        )
+    w_bits = float(sums.shape[1] * bits_per_param)
+    share_rng = np.random.default_rng(seed)
+    net_rng = np.random.default_rng([seed, 1])
+    sim = Simulator()
+    net = Network(sim, latency=latency, rng=net_rng)
+
+    counts = np.ones(n_peers, dtype=np.int64)
+    ready = np.zeros(n_peers, dtype=np.float64)
+    layer_stats: list[XLayerLayerStats] = []
+    obs = _obs.OBS
+
+    # Share pairs (i, j != i) in owner-major order, fixed per layer.
+    pair_i, pair_j = np.where(~np.eye(n, dtype=bool))
+
+    with obs.span("xlayer.round", clock=lambda: sim.now,
+                  peers=n_peers, depth=topology.depth, engine=engine):
+        # ---------------------------------------------- bottom-up layers
+        for layer in range(topology.depth, 0, -1):
+            method = method_for_layer(layer)
+            if method not in ("sac", "fedavg"):
+                raise ValueError(f"unknown aggregation method {method!r}")
+            members = topology.member_matrix(layer)  # (G, n)
+            g = members.shape[0]
+            leaders = members[:, 0]
+            start = ready[members].max(axis=1)  # (G,)
+            vals = sums[members.reshape(-1)]  # (G*n, d)
+            if method == "sac":
+                sub = _layer_subtotals(vals, n, share_rng, parallel)
+                gsum = sub.sum(axis=1)
+                # Shares: every ordered pair within each group, all
+                # departing when the group's last input is ready.
+                share_wave = net.send_batch(
+                    members[:, pair_i].reshape(-1),
+                    members[:, pair_j].reshape(-1),
+                    size_bits=w_bits, kind="xl.share",
+                    at_times=np.repeat(start, n * (n - 1)),
+                    engine=engine,
+                )
+                arrivals = share_wave.delivery_times.reshape(g, n * (n - 1))
+                # bundle[g, j]: member j holds all its shares (its own
+                # needs no wire hop, so only incoming arrivals count).
+                bundle = np.empty((g, n), dtype=np.float64)
+                for j in range(n):
+                    bundle[:, j] = np.maximum(
+                        start, arrivals[:, pair_j == j].max(axis=1)
+                    )
+                sub_wave = net.send_batch(
+                    members[:, 1:].reshape(-1),
+                    np.repeat(leaders, n - 1),
+                    size_bits=w_bits, kind="xl.subtotal",
+                    at_times=bundle[:, 1:].reshape(-1),
+                    engine=engine,
+                )
+                sub_arrivals = sub_wave.delivery_times.reshape(g, n - 1)
+                done = np.maximum(bundle[:, 0], sub_arrivals.max(axis=1))
+                bits = g * (n * n - 1) * w_bits
+                msgs = g * (n * n - 1)
+            else:
+                gsum = vals.reshape(g, n, -1).sum(axis=1)
+                up_wave = net.send_batch(
+                    members[:, 1:].reshape(-1),
+                    np.repeat(leaders, n - 1),
+                    size_bits=w_bits, kind="xl.upload",
+                    at_times=np.repeat(start, n - 1),
+                    engine=engine,
+                )
+                up_arrivals = up_wave.delivery_times.reshape(g, n - 1)
+                done = np.maximum(start, up_arrivals.max(axis=1))
+                bits = g * (n - 1) * w_bits
+                msgs = g * (n - 1)
+            gcnt = counts[members].sum(axis=1)
+            sums[leaders] = gsum
+            counts[leaders] = gcnt
+            ready[leaders] = done
+            layer_stats.append(XLayerLayerStats(
+                layer=layer, method=method, groups=g,
+                start_ms=float(start.min()), done_ms=float(done.max()),
+                bits=bits, messages=msgs,
+            ))
+        agg_done = float(ready[0])
+
+        # ------------------------------------------- top-down broadcast
+        # Each group leader relays the final model to its followers; the
+        # root already has it.  (N - 1) messages of |w| bits in total.
+        dist = np.full(n_peers, np.nan, dtype=np.float64)
+        dist[0] = agg_done
+        for layer in range(1, topology.depth + 1):
+            members = topology.member_matrix(layer)
+            g = members.shape[0]
+            followers = members[:, 1:].reshape(-1)
+            bcast_wave = net.send_batch(
+                np.repeat(members[:, 0], n - 1),
+                followers,
+                size_bits=w_bits, kind="xl.bcast",
+                at_times=np.repeat(dist[members[:, 0]], n - 1),
+                engine=engine,
+            )
+            dist[followers] = bcast_wave.delivery_times
+        assert not np.isnan(dist).any()
+        finish = float(dist.max())
+
+        # Drain the wire: replays every wave's deliveries through the
+        # heap, filling the byte-accounting trace.
+        sim.run(max_events=max(10_000_000, 4 * n_peers * (n + 2)))
+
+    layer_stats.reverse()  # top layer first, reading order
+    average = sums[0] / counts[0]
+    assert int(counts[0]) == n_peers
+    return XLayerWireResult(
+        average=average,
+        finish_time_ms=finish,
+        agg_done_ms=agg_done,
+        bits_sent=net.trace.total_bits,
+        messages_sent=net.trace.total_messages,
+        n_peers=n_peers,
+        n_groups=topology.n_groups,
+        engine=engine,
+        layer_stats=tuple(layer_stats),
+        bits_by_kind=net.trace.by_kind(),
+        heap_stats=sim.heap_stats(),
+    )

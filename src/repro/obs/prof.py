@@ -340,12 +340,15 @@ def profile_events(events: Iterable[Event]) -> ProfileReport:
         ps = stats[inst.path]
         bits = float(msg.fields.get("bits", 0.0))
         kind = str(msg.fields.get("kind", "msg"))
+        # Delivery-wave events aggregate a whole run: ``count`` carries
+        # the message count (absent on scalar per-message events).
+        count = int(msg.fields.get("count", 1))
         if msg.name == _DELIVER:
             ps.bits += bits
-            ps.messages += 1
+            ps.messages += count
             ps.bits_by_kind[kind] = ps.bits_by_kind.get(kind, 0.0) + bits
         else:
-            ps.dropped += 1
+            ps.dropped += count
 
     # ------------------------------------------------------ straggler join
     # For every instance: each node's last activity timestamp inside the

@@ -79,6 +79,49 @@ def _residual_indices(
     return idx
 
 
+def draw_divide_noise(
+    b: int, n: int, rng: np.random.Generator, max_resample: int = 100
+) -> tuple[np.ndarray, np.ndarray]:
+    """The random material of ``b`` Alg. 1 splits: ``(rn, row_totals)``.
+
+    One ``rng.random((b, n))`` draw replaces ``b`` per-owner draws.  The
+    conditioning guard (the paper leaves the tiny-sum case unspecified)
+    is vectorized: row totals come from one ``sum(axis=1)`` pass — the
+    same pairwise reduction over the same contiguous rows as the
+    per-owner 1-D sums, hence bitwise identical — and only the
+    measure-zero offending rows are redrawn in row order.
+
+    Split out from :func:`batched_divide` so callers fanning the share
+    *math* across workers (:mod:`repro.par`) can draw all noise on the
+    parent stream first, keeping results bit-identical across
+    ``parallel={"off","threads","process"}``.
+    """
+    _check_n(n)
+    rn = rng.random((b, n))
+    totals = rn.sum(axis=1)
+    for i in np.flatnonzero(np.abs(totals) < _MIN_SUM):
+        total = totals[i]
+        for _ in range(max_resample):
+            if abs(total) >= _MIN_SUM:
+                break
+            rn[i] = rng.random(n)
+            total = rn[i].sum()
+        else:  # pragma: no cover - U(0,1) sums virtually never stay tiny
+            raise RuntimeError("could not draw a well-conditioned random split")
+        totals[i] = total
+    return rn, totals
+
+
+def apply_divide_noise(
+    stack: np.ndarray, rn: np.ndarray, totals: np.ndarray
+) -> np.ndarray:
+    """Deterministic half of :func:`batched_divide`: normalize + multiply."""
+    stack = _as_batch(stack)
+    prn = rn / totals[:, None]
+    tail = (1,) * (stack.ndim - 1)
+    return prn.reshape(rn.shape + tail) * stack[:, None]
+
+
 def batched_divide(
     stack: np.ndarray, n: int, rng: np.random.Generator, max_resample: int = 100
 ) -> np.ndarray:
@@ -88,27 +131,9 @@ def batched_divide(
     shares are bitwise identical to sequential :func:`additive.divide`
     calls (same stream, same elementwise multiplies).
     """
-    _check_n(n)
     stack = _as_batch(stack)
-    b = stack.shape[0]
-    rn = rng.random((b, n))
-    # Per-row conditioning guard (paper leaves the tiny-sum case
-    # unspecified).  Row sums use the same 1-D pairwise reduction as the
-    # per-owner path, so totals are bitwise identical.
-    totals = np.empty(b, dtype=np.float64)
-    for i in range(b):
-        total = rn[i].sum()
-        for _ in range(max_resample):
-            if abs(total) >= _MIN_SUM:
-                break
-            rn[i] = rng.random(n)
-            total = rn[i].sum()
-        else:  # pragma: no cover - U(0,1) sums virtually never stay tiny
-            raise RuntimeError("could not draw a well-conditioned random split")
-        totals[i] = total
-    prn = rn / totals[:, None]
-    tail = (1,) * (stack.ndim - 1)
-    return prn.reshape((b, n) + tail) * stack[:, None]
+    rn, totals = draw_divide_noise(stack.shape[0], n, rng, max_resample)
+    return apply_divide_noise(stack, rn, totals)
 
 
 def batched_zero_sum(

@@ -40,7 +40,8 @@ from .reliable import (
     ReliableTransport,
     check_transport,
 )
-from .trace import MessageRecord, TraceRecorder
+from .trace import MessageRecord, TraceRecorder, WaveRecord
+from .waves import ENGINES, DeliveryWave, check_engine
 
 __all__ = [
     "Event",
@@ -56,6 +57,10 @@ __all__ = [
     "SimNode",
     "MessageRecord",
     "TraceRecorder",
+    "WaveRecord",
+    "DeliveryWave",
+    "ENGINES",
+    "check_engine",
     "ReliableTransport",
     "TRANSPORTS",
     "ACK_BITS",

@@ -5,23 +5,78 @@ callback)`` triples, with ``seq`` (a monotonically increasing counter)
 breaking ties deterministically.  Cancellation is lazy — a cancelled event
 stays in the heap and is skipped when popped — which keeps ``cancel`` O(1)
 and matches how election timers are constantly reset in Raft.
+
+Two additions serve scale:
+
+- the queue keeps an **incremental live counter** (``len()`` is O(1), not
+  a heap scan) and **compacts** the heap — filter + heapify — whenever
+  lazily-cancelled entries outnumber live ones, so a Raft node resetting
+  its election timer millions of times cannot grow the heap unboundedly;
+- ``reserve(count)`` + ``push_at`` hand out contiguous sequence-number
+  blocks so the delivery-wave engine (:mod:`repro.simnet.waves`) can
+  schedule one heap entry per *wave* of messages while preserving the
+  exact per-message ``(time, seq)`` total order of scalar sends.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+#: Below this raw heap size, compaction is never worth the heapify.
+_COMPACT_MIN_HEAP = 64
 
-@dataclass(order=True)
+
 class Event:
-    """A scheduled callback.  Ordered by ``(time, seq)``."""
+    """A scheduled callback.  Ordered by ``(time, seq)``.
 
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    ``cancelled`` is a property so that flipping it (from a
+    :class:`TimerHandle` or directly, as some callers do) keeps the
+    owning queue's live counter exact.
+    """
+
+    __slots__ = ("time", "seq", "callback", "_cancelled", "_queue")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], None],
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self._cancelled = cancelled
+        self._queue: Optional["EventQueue"] = None
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @cancelled.setter
+    def cancelled(self, value: bool) -> None:
+        value = bool(value)
+        if value == self._cancelled:
+            return
+        self._cancelled = value
+        queue = self._queue
+        if queue is not None:
+            # Still sitting in a heap: keep its live count exact (and
+            # give it a chance to compact away the dead weight).
+            queue._on_cancel_toggled(cancelled=value)
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (self.time, self.seq) == (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = " cancelled" if self._cancelled else ""
+        return f"Event(t={self.time}, seq={self.seq}{flag})"
 
 
 class TimerHandle:
@@ -52,34 +107,90 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._seq = 0
+        self._live = 0
         #: high-water mark of heap entries (cancelled included — that is
         #: the honest memory occupancy of the lazy-cancellation design).
         self.peak_pending = 0
+        #: times the heap was rebuilt to shed lazily-cancelled entries.
+        self.compactions = 0
+
+    def reserve(self, count: int) -> int:
+        """Reserve ``count`` contiguous sequence numbers; return the first.
+
+        The delivery-wave engine assigns one reserved seq per message so
+        that a whole wave, delivered from a single heap entry, keeps the
+        exact ``(time, seq)`` order per-message sends would have had.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        first = self._seq
+        self._seq += count
+        return first
 
     def push(self, time: float, callback: Callable[[], None]) -> Event:
         event = Event(time=time, seq=self._seq, callback=callback)
         self._seq += 1
+        self._push_event(event)
+        return event
+
+    def push_at(self, time: float, seq: int, callback: Callable[[], None]) -> Event:
+        """Push an event with an explicit (previously reserved) seq."""
+        if seq >= self._seq:
+            raise ValueError(f"seq {seq} was never reserved")
+        event = Event(time=time, seq=seq, callback=callback)
+        self._push_event(event)
+        return event
+
+    def _push_event(self, event: Event) -> None:
+        event._queue = self
         heapq.heappush(self._heap, event)
+        self._live += 1
         if len(self._heap) > self.peak_pending:
             self.peak_pending = len(self._heap)
-        return event
+
+    def _on_cancel_toggled(self, cancelled: bool) -> None:
+        if cancelled:
+            self._live -= 1
+            self._maybe_compact()
+        else:
+            self._live += 1
+
+    def _maybe_compact(self) -> None:
+        """Rebuild the heap once cancelled entries outnumber live ones."""
+        if len(self._heap) < _COMPACT_MIN_HEAP:
+            return
+        if len(self._heap) - self._live <= self._live:
+            return
+        for e in self._heap:
+            if e._cancelled:
+                e._queue = None
+        self._heap = [e for e in self._heap if not e._cancelled]
+        heapq.heapify(self._heap)
+        self.compactions += 1
 
     def pop(self) -> Optional[Event]:
         """Pop the next non-cancelled event, or ``None`` if the heap is empty."""
         while self._heap:
             event = heapq.heappop(self._heap)
-            if not event.cancelled:
+            event._queue = None
+            if not event._cancelled:
+                self._live -= 1
                 return event
         return None
 
+    def peek_event(self) -> Optional[Event]:
+        """The next live event without popping it (``None`` when empty)."""
+        while self._heap and self._heap[0]._cancelled:
+            heapq.heappop(self._heap)._queue = None
+        return self._heap[0] if self._heap else None
+
     def peek_time(self) -> Optional[float]:
         """Time of the next live event without popping it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        event = self.peek_event()
+        return event.time if event is not None else None
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return self._live
 
     def __bool__(self) -> bool:
         return self.peek_time() is not None
@@ -113,14 +224,18 @@ class Simulator:
         """Occupancy of the event heap — fed to the resource profiler.
 
         ``pending`` counts raw heap entries (cancelled included, since
-        they hold memory until popped); ``peak_pending`` is the
-        high-water mark over the simulation so far.
+        they hold memory until popped or compacted away); ``live`` is
+        the O(1) non-cancelled count; ``peak_pending`` is the high-water
+        mark over the simulation so far; ``compactions`` counts heap
+        rebuilds that shed lazily-cancelled entries.
         """
         return {
             "pending": len(self._queue._heap),
+            "live": len(self._queue),
             "peak_pending": self._queue.peak_pending,
             "scheduled_total": self._queue._seq,
             "events_processed": self.events_processed,
+            "compactions": self._queue.compactions,
         }
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
@@ -137,6 +252,17 @@ class Simulator:
     def schedule_at(self, time: float, callback: Callable[[], None]) -> TimerHandle:
         """Schedule ``callback`` at absolute virtual time ``time``."""
         return self.schedule(time - self._now, callback)
+
+    def advance_to(self, time: float) -> None:
+        """Advance the clock inside a handler (delivery-wave engine only).
+
+        A wave event delivers a *run* of messages with increasing
+        timestamps from one callback; each sub-delivery moves the clock
+        so observers see the same ``now`` as per-message scheduling.
+        Never moves the clock backwards.
+        """
+        if time > self._now:
+            self._now = time
 
     def step(self) -> bool:
         """Run a single event.  Returns ``False`` when the queue is empty."""

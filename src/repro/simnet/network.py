@@ -27,9 +27,25 @@ DEFAULT_DELAY_MS = 15.0
 
 @runtime_checkable
 class LatencyModel(Protocol):
-    """Samples a one-way delay in milliseconds for a (src, dst) pair."""
+    """Samples one-way delays in milliseconds for (src, dst) pairs.
+
+    ``sample`` draws one delay; ``sample_batch`` draws a whole wave's
+    worth in a single vectorized pass.  The stream contract every model
+    in this module honours: ``sample_batch(src, dst, rng)`` consumes the
+    RNG stream exactly as ``len(src)`` sequential ``sample`` calls would
+    (numpy fills batch draws element-by-element from the same stream),
+    so a round produces bit-identical delays whichever API the sender
+    used.
+    """
 
     def sample(self, src: int, dst: int, rng: np.random.Generator) -> float: ...
+
+    def sample_batch(
+        self,
+        src_ids: np.ndarray,
+        dst_ids: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray: ...
 
 
 class FixedLatency:
@@ -42,6 +58,11 @@ class FixedLatency:
 
     def sample(self, src: int, dst: int, rng: np.random.Generator) -> float:
         return self.delay_ms
+
+    def sample_batch(
+        self, src_ids: np.ndarray, dst_ids: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        return np.full(len(src_ids), self.delay_ms, dtype=np.float64)
 
 
 class UniformLatency:
@@ -56,6 +77,11 @@ class UniformLatency:
     def sample(self, src: int, dst: int, rng: np.random.Generator) -> float:
         return float(rng.uniform(self.lo_ms, self.hi_ms))
 
+    def sample_batch(
+        self, src_ids: np.ndarray, dst_ids: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        return rng.uniform(self.lo_ms, self.hi_ms, size=len(src_ids))
+
 
 class GaussianLatency:
     """One-way delay ~ N(mean, std) ms, truncated at ``floor_ms``."""
@@ -67,6 +93,12 @@ class GaussianLatency:
 
     def sample(self, src: int, dst: int, rng: np.random.Generator) -> float:
         return max(self.floor_ms, float(rng.normal(self.mean_ms, self.std_ms)))
+
+    def sample_batch(
+        self, src_ids: np.ndarray, dst_ids: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        draws = rng.normal(self.mean_ms, self.std_ms, size=len(src_ids))
+        return np.maximum(self.floor_ms, draws)
 
 
 class LatencyMatrix:
@@ -90,23 +122,60 @@ class LatencyMatrix:
                 raise ValueError("latency matrix must be square")
             if (matrix < 0).any():
                 raise ValueError("latencies must be non-negative")
-            self._lookup = {
-                (i, j): float(matrix[i, j])
-                for i in range(matrix.shape[0])
-                for j in range(matrix.shape[1])
-            }
+            # Dense input: keep the ndarray and index it directly — the
+            # old code materialized an O(N^2) python dict, which at 10^5
+            # peers would be tens of GB.  The dict stays for sparse
+            # (dict) inputs only.
+            self._matrix = np.asarray(matrix, dtype=np.float64)
+            self._lookup: dict[tuple[int, int], float] | None = None
         else:
             bad = [v for v in matrix.values() if v < 0]
             if bad:
                 raise ValueError("latencies must be non-negative")
+            self._matrix = None
             self._lookup = {k: float(v) for k, v in matrix.items()}
         self.default_ms = default_ms
         self.jitter = jitter
 
+    def _base(self, src: int, dst: int) -> float:
+        if self._matrix is not None:
+            n = self._matrix.shape[0]
+            if 0 <= src < n and 0 <= dst < n:
+                return float(self._matrix[src, dst])
+            return self.default_ms
+        return self._lookup.get((src, dst), self.default_ms)
+
     def sample(self, src: int, dst: int, rng: np.random.Generator) -> float:
-        base = self._lookup.get((src, dst), self.default_ms)
+        base = self._base(src, dst)
         if self.jitter:
             base *= float(rng.uniform(1.0, 1.0 + self.jitter))
+        return base
+
+    def sample_batch(
+        self, src_ids: np.ndarray, dst_ids: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        src_ids = np.asarray(src_ids)
+        dst_ids = np.asarray(dst_ids)
+        if self._matrix is not None:
+            n = self._matrix.shape[0]
+            in_range = (
+                (src_ids >= 0) & (src_ids < n) & (dst_ids >= 0) & (dst_ids < n)
+            )
+            base = np.full(len(src_ids), self.default_ms, dtype=np.float64)
+            base[in_range] = self._matrix[src_ids[in_range], dst_ids[in_range]]
+        else:
+            lookup = self._lookup
+            default = self.default_ms
+            base = np.fromiter(
+                (
+                    lookup.get((int(s), int(d)), default)
+                    for s, d in zip(src_ids, dst_ids)
+                ),
+                dtype=np.float64,
+                count=len(src_ids),
+            )
+        if self.jitter:
+            base = base * rng.uniform(1.0, 1.0 + self.jitter, size=len(src_ids))
         return base
 
 
@@ -383,6 +452,46 @@ class Network:
             return
         self.physical_send(src, dst, msg, size_bits=size_bits, kind=kind,
                            ctx=ctx)
+
+    def send_batch(
+        self,
+        src_ids: Any,
+        dst_ids: Any,
+        size_bits: float = 0.0,
+        kind: str = "msg",
+        msgs: Any = None,
+        at_times: Any = None,
+        engine: str = "wave",
+    ) -> Any:
+        """Send a whole batch of same-kind messages as one delivery wave.
+
+        ``src_ids``/``dst_ids`` are equal-length integer arrays; message
+        ``i`` departs at ``at_times[i]`` (default: now, and never before
+        now) and arrives after an independently sampled latency.  Fate
+        masks (link state, loss) and latency draws are single vectorized
+        passes.  ``msgs`` optionally carries one actor payload per
+        message (each destination must then be registered); without it
+        the wave is pure accounting — peers are modelled by their ids
+        alone, which is what lets X-layer rounds run at 10^5+ simulated
+        peers.
+
+        ``engine="wave"`` schedules one heap entry for the whole batch
+        (see :mod:`repro.simnet.waves`); ``engine="scalar"`` schedules
+        one per message — the pre-wave reference path, bit-identical in
+        delivery times, ``(time, seq)`` order and trace totals.
+        Requires the fire-and-forget transport; causal spans are not
+        allocated for wave messages.
+
+        Returns the :class:`~repro.simnet.waves.DeliveryWave`, whose
+        ``delivery_times`` gives each message's arrival (NaN if dropped
+        at issue).
+        """
+        from .waves import send_batch as _send_batch
+
+        return _send_batch(
+            self, src_ids, dst_ids, size_bits=size_bits, kind=kind,
+            msgs=msgs, at_times=at_times, engine=engine,
+        )
 
     def alloc_context(
         self, src: int, dst: int, kind: str, size_bits: float = 0.0

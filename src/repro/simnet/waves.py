@@ -1,0 +1,375 @@
+"""Vectorized delivery waves: one heap entry per message *batch*.
+
+The scalar :meth:`~repro.simnet.network.Network.send` path pays one heap
+push, one heap pop, one callback frame, one latency draw and one record
+publish **per message** — fine at 10^3 peers, prohibitive at 10^5.  An
+X-layer wire round is almost entirely same-phase traffic, though: every
+share of a layer departs together, so its delivery schedule can be
+computed in a handful of numpy passes and replayed from a *single* heap
+entry.
+
+:func:`send_batch` (surfaced as ``Network.send_batch``) does exactly
+that:
+
+- departure/link/loss masks and latency draws are whole-array ops
+  (``LatencyModel.sample_batch``);
+- delivered messages get a **contiguous reserved seq block**
+  (:meth:`EventQueue.reserve`), message ``i`` taking ``seq0 + i`` — the
+  very numbers per-message ``send`` calls would have consumed — so the
+  global ``(time, seq)`` delivery order is bit-identical to the scalar
+  engine;
+- one :class:`DeliveryWave` object re-pushes itself through the heap: at
+  each firing it delivers the maximal *run* of its pending messages
+  whose ``(time, seq)`` keys precede the next live heap entry, then
+  re-queues at its next pending key.  Foreign events (other waves,
+  chaos fault events, timers armed by message handlers) therefore
+  interleave exactly where per-message scheduling would have put them.
+
+Accounting: a pure accounting wave (``msgs=None``) publishes one
+aggregate :class:`~repro.simnet.trace.WaveRecord` and one ``net.deliver``
+obs event (with a ``count`` field) per delivered run — totals match the
+scalar engine's per-message records exactly, at O(runs) cost.  Waves
+carrying actor messages (``msgs=...``) fall back to per-message records
+and events inside the run, because handlers observe the network
+mid-wave.
+
+Determinism contract (see ``docs/performance.md``): for the same
+``send_batch`` call the two engines consume the RNG identically — loss
+uniforms for link-up messages first (one batch draw), then latency draws
+for surviving messages in enumeration order — and produce identical
+``delivery_times``, identical trace totals and identical ``(time, seq)``
+event keys.  ``send_batch`` differs from a loop of scalar ``send`` calls
+only in RNG interleaving (``send`` draws loss and latency alternately)
+and in skipping per-message causal span allocation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional, Sequence
+
+import numpy as np
+
+from ..obs import runtime as _obs
+from .trace import MessageRecord, WaveRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .network import Network
+
+ENGINES = ("wave", "scalar")
+
+
+def check_engine(engine: str) -> str:
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown delivery engine {engine!r}; expected one of {ENGINES}"
+        )
+    return engine
+
+
+class DeliveryWave:
+    """One batch of same-kind messages moving through the simulated wire.
+
+    Returned by ``Network.send_batch``; ``delivery_times[i]`` is the
+    absolute arrival time of message ``i`` (``NaN`` if it was dropped at
+    issue).  Under ``engine="wave"`` the object is also the live heap
+    participant that replays the deliveries.
+    """
+
+    __slots__ = (
+        "net", "kind", "size_bits", "engine", "delivery_times", "delivered",
+        "count", "dropped", "_src", "_dst", "_msgs", "_times", "_seqs",
+        "_order", "_pos",
+    )
+
+    def __init__(
+        self,
+        net: "Network",
+        kind: str,
+        size_bits: float,
+        engine: str,
+        delivery_times: np.ndarray,
+        delivered: np.ndarray,
+    ) -> None:
+        self.net = net
+        self.kind = kind
+        self.size_bits = size_bits
+        self.engine = engine
+        self.delivery_times = delivery_times
+        self.delivered = delivered
+        self.count = int(delivered.sum())
+        self.dropped = len(delivered) - self.count
+        self._pos = 0
+
+    @property
+    def done(self) -> bool:
+        """Whether every surviving message has been delivered."""
+        return self._pos >= self.count
+
+    # -------------------------------------------------------------- firing
+    def _cut(self, i: int, head) -> int:
+        """Largest ``j`` such that messages ``i..j-1`` all precede ``head``."""
+        times, seqs = self._times, self._seqs
+        n = len(times)
+        if head is None:
+            return n
+        ht, hs = head.time, head.seq
+        j = int(np.searchsorted(times, ht, side="left"))
+        if j < i:
+            return i
+        # Equal-time run: seqs ascend within it, admit those before hs.
+        end = int(np.searchsorted(times, ht, side="right"))
+        while j < end and seqs[j] < hs:
+            j += 1
+        return j
+
+    def _fire(self) -> None:
+        net = self.net
+        queue = net.sim._queue
+        n = len(self._times)
+        i = self._pos
+        while i < n:
+            head = queue.peek_event()
+            j = self._cut(i, head)
+            if j <= i:
+                self._pos = i
+                queue.push_at(self._times[i], int(self._seqs[i]), self._fire)
+                return
+            if self._msgs is None and net._fault_free:
+                self._bulk_run(i, j)
+                i = j
+            else:
+                # Actor deliveries (or degraded links) go one message at
+                # a time: a handler may schedule new events or crash
+                # nodes, changing what precedes the rest of the run.
+                self._deliver_one(i)
+                i += 1
+        self._pos = n
+
+    def _bulk_run(self, i: int, j: int) -> None:
+        """Deliver messages ``i..j-1`` as one aggregate accounting step."""
+        net = self.net
+        t_end = float(self._times[j - 1])
+        net.sim.advance_to(t_end)
+        count = j - i
+        bits = count * self.size_bits
+        net.in_flight -= count
+        net.bus.publish_message(
+            WaveRecord(t_end, self.kind, count, bits, delivered=True)
+        )
+        obs = _obs.OBS
+        if obs.enabled:
+            obs.emit("net.deliver", t_ms=t_end, kind=self.kind, bits=bits,
+                     count=count)
+            obs.metrics.counter(
+                "net_messages_total", "Delivered messages by kind.",
+                labels=("kind",),
+            ).labels(kind=self.kind).inc(count)
+            obs.metrics.counter(
+                "net_bits_total", "Delivered bits by kind.",
+                labels=("kind",),
+            ).labels(kind=self.kind).inc(bits)
+
+    def _deliver_one(self, i: int) -> None:
+        """Deliver message ``i`` with full per-message semantics."""
+        net = self.net
+        t = float(self._times[i])
+        net.sim.advance_to(t)
+        net.in_flight -= 1
+        idx = self._order[i]
+        src = int(self._src[idx])
+        dst = int(self._dst[idx])
+        if not net.link_up(src, dst):
+            # Mid-flight crash: same silent-drop semantics as the
+            # scalar path (obs event + counter, no MessageRecord).
+            net._drop(src, dst, self.kind, self.size_bits, "in_flight",
+                      silent=True)
+            return
+        net.bus.publish_message(
+            MessageRecord(t, src, dst, self.kind, self.size_bits,
+                          delivered=True)
+        )
+        obs = _obs.OBS
+        if obs.enabled:
+            obs.emit("net.deliver", t_ms=t, node=src, dst=dst,
+                     kind=self.kind, bits=self.size_bits)
+            obs.metrics.counter(
+                "net_messages_total", "Delivered messages by kind.",
+                labels=("kind",),
+            ).labels(kind=self.kind).inc()
+            obs.metrics.counter(
+                "net_bits_total", "Delivered bits by kind.",
+                labels=("kind",),
+            ).labels(kind=self.kind).inc(self.size_bits)
+        if self._msgs is not None:
+            net.deliver_to_node(src, dst, self._msgs[idx])
+
+
+def _report_drops(
+    net: "Network",
+    kind: str,
+    size_bits: float,
+    dep: np.ndarray,
+    mask: np.ndarray,
+    reason: str,
+) -> None:
+    """Aggregate issue-time drop accounting for one reason."""
+    count = int(mask.sum())
+    if count == 0:
+        return
+    t = float(dep[mask].max())
+    bits = count * size_bits
+    net.bus.publish_message(WaveRecord(t, kind, count, bits, delivered=False))
+    obs = _obs.OBS
+    if obs.enabled:
+        obs.emit("net.drop", t_ms=t, kind=kind, bits=bits, count=count,
+                 reason=reason)
+        obs.metrics.counter(
+            "net_dropped_total", "Dropped messages by reason and kind.",
+            labels=("reason", "kind"),
+        ).labels(reason=reason, kind=kind).inc(count)
+
+
+def send_batch(
+    net: "Network",
+    src_ids: np.ndarray,
+    dst_ids: np.ndarray,
+    size_bits: float = 0.0,
+    kind: str = "msg",
+    msgs: Optional[Sequence[Any]] = None,
+    at_times: Optional[np.ndarray] = None,
+    engine: str = "wave",
+) -> DeliveryWave:
+    """Issue one delivery wave (the body of ``Network.send_batch``)."""
+    check_engine(engine)
+    if net.reliable is not None:
+        raise ValueError(
+            "send_batch requires the fire-and-forget transport; "
+            "reliable sends go through Network.send"
+        )
+    if net.serialize_uplink:
+        raise ValueError("send_batch does not model serialized uplinks")
+    src = np.ascontiguousarray(src_ids, dtype=np.int64)
+    dst = np.ascontiguousarray(dst_ids, dtype=np.int64)
+    if src.shape != dst.shape or src.ndim != 1:
+        raise ValueError("src_ids and dst_ids must be equal-length 1-D arrays")
+    m = len(src)
+    if msgs is not None:
+        if len(msgs) != m:
+            raise ValueError(f"need one msg per message: {len(msgs)} != {m}")
+        unknown = {int(d) for d in np.unique(dst)} - set(net._nodes)
+        if unknown:
+            raise KeyError(f"unknown destination node {min(unknown)}")
+    sim = net.sim
+    if at_times is None:
+        dep = np.full(m, sim.now, dtype=np.float64)
+    else:
+        dep = np.asarray(at_times, dtype=np.float64)
+        if dep.shape != src.shape:
+            raise ValueError("at_times must match src_ids in length")
+        # Scalar scheduling clamps negative delays to "now"; same here.
+        dep = np.maximum(dep, sim.now)
+
+    # Issue-time fate, in the scalar path's decision order: link state
+    # first, then one loss uniform per link-up message, then one latency
+    # draw per surviving message — a single batch draw each, consuming
+    # the RNG stream identically under both engines.
+    if net._fault_free:
+        up = np.ones(m, dtype=bool)
+    else:
+        up = np.fromiter(
+            (net.link_up(int(s), int(d)) for s, d in zip(src, dst)),
+            dtype=bool, count=m,
+        )
+    alive = up.copy()
+    if net.loss_rate > 0.0 and up.any():
+        lost_up = net.rng.random(int(up.sum())) < net.loss_rate
+        alive[up] = ~lost_up
+    _report_drops(net, kind, size_bits, dep, ~up, "link_down")
+    _report_drops(net, kind, size_bits, dep, up & ~alive, "loss")
+
+    n_alive = int(alive.sum())
+    delays = net.latency.sample_batch(src[alive], dst[alive], net.rng)
+    if net.bandwidth_bps is not None and size_bits > 0:
+        delays = delays + 1000.0 * size_bits / net.bandwidth_bps
+    times_alive = dep[alive] + delays
+
+    delivery_times = np.full(m, np.nan, dtype=np.float64)
+    delivery_times[alive] = times_alive
+    wave = DeliveryWave(net, kind, size_bits, engine, delivery_times, alive)
+    obs = _obs.OBS
+    if obs.enabled:
+        obs.emit("net.wave", t_ms=sim.now, kind=kind, count=n_alive,
+                 bits=n_alive * size_bits, dropped=m - n_alive, engine=engine)
+    net.in_flight += n_alive
+    if net.in_flight > net.peak_in_flight:
+        net.peak_in_flight = net.in_flight
+
+    alive_idx = np.flatnonzero(alive)
+    if engine == "scalar" or n_alive == 0:
+        # Per-message heap entries: the honest pre-wave hot path.  Seqs
+        # are assigned in enumeration order, exactly the block the wave
+        # engine would have reserved.
+        wave._src, wave._dst, wave._msgs = src, dst, msgs
+        wave._order = alive_idx
+        wave._times = times_alive
+        wave._seqs = np.empty(n_alive, dtype=np.int64)
+        for i in range(n_alive):
+            idx = int(alive_idx[i])
+            t = float(times_alive[i])
+            event = sim._queue.push(
+                t, _ScalarDelivery(net, wave, int(src[idx]), int(dst[idx]),
+                                   None if msgs is None else msgs[idx], t)
+            )
+            wave._seqs[i] = event.seq
+        return wave
+
+    seq0 = sim._queue.reserve(n_alive)
+    order = np.argsort(times_alive, kind="stable")
+    wave._src, wave._dst, wave._msgs = src, dst, msgs
+    wave._order = alive_idx[order]
+    wave._times = times_alive[order]
+    wave._seqs = seq0 + order.astype(np.int64)
+    sim._queue.push_at(float(wave._times[0]), int(wave._seqs[0]), wave._fire)
+    return wave
+
+
+class _ScalarDelivery:
+    """Per-message delivery callback for the scalar reference engine."""
+
+    __slots__ = ("net", "wave", "src", "dst", "msg", "time")
+
+    def __init__(self, net, wave, src, dst, msg, time):
+        self.net = net
+        self.wave = wave
+        self.src = src
+        self.dst = dst
+        self.msg = msg
+        self.time = time
+
+    def __call__(self) -> None:
+        net = self.net
+        net.in_flight -= 1
+        self.wave._pos += 1
+        if not net.link_up(self.src, self.dst):
+            net._drop(self.src, self.dst, self.wave.kind, self.wave.size_bits,
+                      "in_flight", silent=True)
+            return
+        net.bus.publish_message(
+            MessageRecord(self.time, self.src, self.dst, self.wave.kind,
+                          self.wave.size_bits, delivered=True)
+        )
+        obs = _obs.OBS
+        if obs.enabled:
+            obs.emit("net.deliver", t_ms=self.time, node=self.src,
+                     dst=self.dst, kind=self.wave.kind,
+                     bits=self.wave.size_bits)
+            obs.metrics.counter(
+                "net_messages_total", "Delivered messages by kind.",
+                labels=("kind",),
+            ).labels(kind=self.wave.kind).inc()
+            obs.metrics.counter(
+                "net_bits_total", "Delivered bits by kind.",
+                labels=("kind",),
+            ).labels(kind=self.wave.kind).inc(self.wave.size_bits)
+        if self.msg is not None:
+            net.deliver_to_node(self.src, self.dst, self.msg)

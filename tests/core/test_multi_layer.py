@@ -2,9 +2,17 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.core import MultiLayerTopology, multi_layer_aggregate, multi_layer_cost_bits
-from repro.core.costs import multi_layer_total_peers
+from repro.core import (
+    MultiLayerTopology,
+    multi_layer_aggregate,
+    multi_layer_cost_bits,
+    multi_layer_message_count,
+    multi_layer_mixed_cost_bits,
+)
+from repro.core.costs import multi_layer_groups_at, multi_layer_total_peers
 
 RNG = lambda seed=0: np.random.default_rng(seed)
 
@@ -101,3 +109,95 @@ class TestAggregate:
         models = [rng.normal(size=5) for _ in range(4)]
         result = multi_layer_aggregate(topo, models, rng)
         np.testing.assert_allclose(result.average, np.mean(models, axis=0))
+
+
+class TestDeepTrees:
+    """Depth >= 4 trees: the regime the X-layer wire round scales to."""
+
+    def test_deep_tree_mean_and_cost(self):
+        for n, depth in [(2, 6), (3, 5), (4, 4)]:
+            topo = MultiLayerTopology(n, depth)
+            rng = RNG(11)
+            models = [rng.normal(size=3) for _ in range(topo.n_peers)]
+            result = multi_layer_aggregate(topo, models, rng)
+            np.testing.assert_allclose(
+                result.average, np.mean(models, axis=0), rtol=1e-9
+            )
+            assert result.bits_sent == multi_layer_cost_bits(n, depth, 3)
+
+    def test_member_matrix_matches_groups(self):
+        topo = MultiLayerTopology(3, 4)
+        for layer in range(1, 5):
+            mat = topo.member_matrix(layer)
+            groups = topo.groups_at(layer)
+            assert mat.shape == (len(groups), 3)
+            assert mat.dtype == np.int64
+            for row, g in zip(mat, groups):
+                assert tuple(row) == g.members
+                assert row[0] == g.leader
+            # Cached: same object on repeat calls.
+            assert topo.member_matrix(layer) is mat
+
+    def test_groups_at_matches_closed_form(self):
+        topo = MultiLayerTopology(3, 5)
+        for layer in range(1, 6):
+            assert len(topo.groups_at(layer)) == multi_layer_groups_at(3, layer)
+
+
+class TestMixedSchedules:
+    """Per-layer method choice (the paper's FedAvg remark in Sec. VII-C)."""
+
+    @pytest.mark.parametrize("sac_layers", [
+        set(), {1}, {4}, {1, 3}, {2, 4}, {1, 2, 3, 4},
+    ])
+    def test_mixed_bits_match_closed_form(self, sac_layers):
+        n, depth, d = 3, 4, 7
+        topo = MultiLayerTopology(n, depth)
+        method = lambda layer: "sac" if layer in sac_layers else "fedavg"
+        rng = RNG(12)
+        models = [rng.normal(size=d) for _ in range(topo.n_peers)]
+        result = multi_layer_aggregate(topo, models, rng, method_for_layer=method)
+        assert result.bits_sent == multi_layer_mixed_cost_bits(
+            n, depth, sac_layers, d
+        )
+        np.testing.assert_allclose(
+            result.average, np.mean(models, axis=0), rtol=1e-9
+        )
+
+    def test_all_sac_mixed_equals_eq10(self):
+        n, depth = 4, 4
+        assert multi_layer_mixed_cost_bits(
+            n, depth, set(range(1, depth + 1)), 10
+        ) == multi_layer_cost_bits(n, depth, 10)
+
+    def test_message_count_times_w_recovers_bits(self):
+        for n, depth in [(2, 5), (3, 4), (4, 3)]:
+            for sac_layers in [set(), {1, 2}, set(range(1, depth + 1))]:
+                w = 13
+                assert (
+                    multi_layer_message_count(n, depth, sac_layers) * w * 32
+                    == multi_layer_mixed_cost_bits(n, depth, sac_layers, w)
+                )
+
+    @given(
+        n=st.integers(2, 4),
+        depth=st.integers(1, 5),
+        mask=st.integers(0, 31),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_measured_bits_pin_closed_form(self, n, depth, mask, seed):
+        """Property: for any tree shape and any layer-method schedule the
+        measured wire bits equal the closed form exactly (no tolerance)."""
+        sac_layers = {l for l in range(1, depth + 1) if mask & (1 << (l - 1))}
+        topo = MultiLayerTopology(n, depth)
+        method = lambda layer: "sac" if layer in sac_layers else "fedavg"
+        rng = RNG(seed)
+        models = [rng.normal(size=2) for _ in range(topo.n_peers)]
+        result = multi_layer_aggregate(topo, models, rng, method_for_layer=method)
+        assert result.bits_sent == multi_layer_mixed_cost_bits(
+            n, depth, sac_layers, 2
+        )
+        assert result.bits_sent == (
+            multi_layer_message_count(n, depth, sac_layers) * 2 * 32
+        )

@@ -1,0 +1,180 @@
+"""X-layer rounds over the simulated wire, pinned to the Eq. 10 closed
+forms and to the in-memory :func:`multi_layer_aggregate` reference."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MultiLayerTopology,
+    multi_layer_aggregate,
+    multi_layer_cost_bits,
+    multi_layer_message_count,
+    multi_layer_mixed_cost_bits,
+    multi_layer_round_latency_ms,
+    run_xlayer_wire_round,
+)
+from repro.simnet import FixedLatency, GaussianLatency, UniformLatency
+
+
+def _models(topo, d=5, seed=1):
+    return np.random.default_rng(seed).normal(size=(topo.n_peers, d))
+
+
+class TestClosedForms:
+    @pytest.mark.parametrize("n,depth", [(2, 1), (2, 5), (3, 3), (4, 4), (5, 2)])
+    def test_bits_and_messages_match_eq10_exactly(self, n, depth):
+        topo = MultiLayerTopology(n, depth)
+        models = _models(topo)
+        result = run_xlayer_wire_round(topo, models)
+        assert result.bits_sent == multi_layer_cost_bits(n, depth, 5)
+        assert result.messages_sent == multi_layer_message_count(n, depth)
+
+    def test_fixed_latency_matches_closed_form(self):
+        for depth in (1, 2, 4):
+            topo = MultiLayerTopology(3, depth)
+            result = run_xlayer_wire_round(
+                topo, _models(topo), latency=FixedLatency(15.0)
+            )
+            assert result.finish_time_ms == multi_layer_round_latency_ms(
+                depth, 15.0
+            )
+            assert result.agg_done_ms < result.finish_time_ms
+
+    def test_mixed_schedule_bits(self):
+        n, depth = 3, 4
+        topo = MultiLayerTopology(n, depth)
+        sac_layers = {1, 3}
+        method = lambda layer: "sac" if layer in sac_layers else "fedavg"
+        result = run_xlayer_wire_round(
+            topo, _models(topo), method_for_layer=method,
+            latency=FixedLatency(10.0),
+        )
+        assert result.bits_sent == multi_layer_mixed_cost_bits(
+            n, depth, sac_layers, 5
+        )
+        assert result.finish_time_ms == multi_layer_round_latency_ms(
+            depth, 10.0, sac_layers=sac_layers
+        )
+
+    def test_layer_stats_sum_to_totals(self):
+        topo = MultiLayerTopology(4, 3)
+        result = run_xlayer_wire_round(topo, _models(topo))
+        agg_msgs = sum(st.messages for st in result.layer_stats)
+        assert agg_msgs + (topo.n_peers - 1) == result.messages_sent
+        agg_bits = sum(st.bits for st in result.layer_stats)
+        bcast_bits = result.bits_by_kind["xl.bcast"]
+        assert agg_bits + bcast_bits == result.bits_sent
+        # Bottom layers finish before upper layers start aggregating.
+        by_layer = {st.layer: st for st in result.layer_stats}
+        for layer in range(1, topo.depth):
+            assert by_layer[layer].start_ms >= by_layer[layer + 1].done_ms
+
+
+class TestValueEquality:
+    def test_average_equals_multi_layer_aggregate(self):
+        """Same seed => bit-identical average: the wire round consumes
+        the share RNG exactly as the in-memory reference does."""
+        for n, depth in [(2, 4), (3, 3), (4, 2)]:
+            topo = MultiLayerTopology(n, depth)
+            models = _models(topo, d=6, seed=9)
+            ref = multi_layer_aggregate(
+                topo, list(models), np.random.default_rng(5)
+            )
+            result = run_xlayer_wire_round(topo, models, seed=5)
+            np.testing.assert_array_equal(ref.average, result.average)
+
+    def test_average_is_global_mean(self):
+        topo = MultiLayerTopology(3, 3)
+        models = _models(topo)
+        result = run_xlayer_wire_round(topo, models)
+        np.testing.assert_allclose(
+            result.average, models.mean(axis=0), rtol=1e-9
+        )
+
+    def test_mixed_schedule_matches_reference(self):
+        topo = MultiLayerTopology(3, 4)
+        models = _models(topo, seed=2)
+        method = lambda layer: "sac" if layer % 2 else "fedavg"
+        ref = multi_layer_aggregate(
+            topo, list(models), np.random.default_rng(0),
+            method_for_layer=method,
+        )
+        result = run_xlayer_wire_round(
+            topo, models, seed=0, method_for_layer=method
+        )
+        np.testing.assert_array_equal(ref.average, result.average)
+
+
+class TestEngines:
+    @pytest.mark.parametrize("latency", [
+        FixedLatency(8.0), UniformLatency(2.0, 30.0), GaussianLatency(20.0, 5.0),
+    ])
+    def test_wave_and_scalar_bit_identical(self, latency):
+        topo = MultiLayerTopology(3, 3)
+        models = _models(topo)
+        a = run_xlayer_wire_round(topo, models, seed=4, latency=latency,
+                                  engine="wave")
+        b = run_xlayer_wire_round(topo, models, seed=4, latency=latency,
+                                  engine="scalar")
+        assert a.finish_time_ms == b.finish_time_ms
+        assert a.agg_done_ms == b.agg_done_ms
+        assert a.bits_sent == b.bits_sent
+        assert a.messages_sent == b.messages_sent
+        np.testing.assert_array_equal(a.average, b.average)
+        assert a.layer_stats == b.layer_stats
+
+    def test_wave_engine_uses_fewer_heap_events(self):
+        topo = MultiLayerTopology(4, 4)
+        models = _models(topo)
+        a = run_xlayer_wire_round(topo, models, engine="wave")
+        b = run_xlayer_wire_round(topo, models, engine="scalar")
+        assert b.heap_stats["events_processed"] == b.messages_sent
+        assert a.heap_stats["events_processed"] < b.messages_sent / 10
+
+
+class TestParallel:
+    def test_parallel_modes_bit_identical(self):
+        topo = MultiLayerTopology(4, 3)
+        models = _models(topo, seed=3)
+        base = run_xlayer_wire_round(topo, models, seed=1, parallel="off")
+        for mode in ("threads", "process"):
+            other = run_xlayer_wire_round(topo, models, seed=1, parallel=mode)
+            np.testing.assert_array_equal(base.average, other.average)
+            assert base.bits_sent == other.bits_sent
+            assert base.finish_time_ms == other.finish_time_ms
+
+
+class TestValidation:
+    def test_wrong_model_count(self):
+        topo = MultiLayerTopology(3, 2)
+        with pytest.raises(ValueError):
+            run_xlayer_wire_round(topo, np.zeros((5, 2)))
+
+    def test_bad_engine_and_method(self):
+        topo = MultiLayerTopology(2, 1)
+        models = _models(topo)
+        with pytest.raises(ValueError):
+            run_xlayer_wire_round(topo, models, engine="warp")
+        with pytest.raises(ValueError):
+            run_xlayer_wire_round(
+                topo, models, method_for_layer=lambda layer: "median"
+            )
+
+
+@pytest.mark.slow
+class TestScale:
+    def test_100k_peer_round(self):
+        """The acceptance point: an X-layer round at >= 10^5 simulated
+        peers with wire bits bit-identical to Eq. 10."""
+        n, depth = 4, 10
+        topo = MultiLayerTopology(n, depth)
+        assert topo.n_peers >= 100_000
+        models = _models(topo, d=4)
+        result = run_xlayer_wire_round(
+            topo, models, latency=GaussianLatency(20.0, 5.0)
+        )
+        assert result.bits_sent == multi_layer_cost_bits(n, depth, 4)
+        assert result.messages_sent == multi_layer_message_count(n, depth)
+        np.testing.assert_allclose(
+            result.average, models.mean(axis=0), rtol=1e-6
+        )

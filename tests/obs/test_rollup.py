@@ -222,5 +222,6 @@ class TestResourceAccounting:
 
         sim = Simulator()
         stats = sim.heap_stats()
-        assert set(stats) == {"pending", "peak_pending",
-                              "scheduled_total", "events_processed"}
+        assert set(stats) == {"pending", "live", "peak_pending",
+                              "scheduled_total", "events_processed",
+                              "compactions"}
