@@ -13,6 +13,8 @@ optionally dumps the raw series to CSV::
     python -m repro bench --compare OLD.json NEW.json
     python -m repro prof --resources
     python -m repro chaos --plans 25
+    python -m repro chaos --scale 100000 --loss 0.2
+    python -m repro xlayer --peers 100000 --loss 0.2 --transport reliable
     python -m repro serve-metrics --metrics-port 9100
 
 ``trace`` runs the failover + wire-round observability scenario and
@@ -35,7 +37,11 @@ resource snapshot.
 ``chaos`` runs seeded fault-injection campaigns (``repro.chaos``)
 against the SAC, two-layer and Raft stacks and prints the
 pass/degrade/fail matrix; it exits non-zero iff any trial violates a
-safety invariant (see ``docs/robustness.md``).
+safety invariant (see ``docs/robustness.md``).  With ``--scale N`` it
+instead runs one chaos-at-scale trial: a lossy reliable X-layer round
+at ``N`` peers under the deterministic scale fault schedule
+(``repro.chaos.scale``), printing transport counters and heap
+telemetry.
 
 ``serve-metrics`` runs a live chaos campaign with the full
 observability stack attached — causal tracing, per-link telemetry, a
@@ -151,10 +157,21 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--layers", metavar="NAMES", default=None,
                         help="'chaos': comma-separated layers to stress "
                         "(default: sac,two_layer,raft)")
-    parser.add_argument("--transport", default="reliable",
+    parser.add_argument("--transport", default=None,
                         choices=["fire_and_forget", "reliable"],
-                        help="'chaos': transport for the SAC/two-layer "
-                        "trials (default: reliable)")
+                        help="'chaos'/'xlayer': wire transport (default: "
+                        "reliable for chaos; for xlayer, reliable iff "
+                        "--loss > 0)")
+    parser.add_argument("--loss", type=float, default=None,
+                        help="'chaos --scale'/'xlayer': random frame-loss "
+                        "probability (default: 0.2 for chaos --scale, "
+                        "0 for xlayer)")
+    parser.add_argument("--scale", type=int, default=None, metavar="PEERS",
+                        help="'chaos': run one chaos-at-scale X-layer trial "
+                        "at this peer count instead of the plan matrix")
+    parser.add_argument("--max-attempts", type=int, default=None,
+                        help="'chaos --scale'/'xlayer': reliable-transport "
+                        "retransmit budget (default: 8)")
     parser.add_argument("--seed0", type=int, default=0,
                         help="'chaos'/'serve-metrics': first plan seed "
                         "(default: 0)")
@@ -329,14 +346,24 @@ def _run_xlayer(args: argparse.Namespace) -> int:
     d = args.dim
     models = np.random.default_rng([args.seed, 7]).normal(size=(n_peers, d))
 
+    loss = args.loss or 0.0
+    transport = args.transport or (
+        "reliable" if loss > 0 else "fire_and_forget"
+    )
+    opts = (
+        {"max_attempts": args.max_attempts}
+        if args.max_attempts is not None else None
+    )
     print(f"X-layer wire round: n={n}, depth={depth}, "
           f"N={n_peers:,} peers (requested {target:,}), "
-          f"d={d}, engine={args.engine}")
+          f"d={d}, engine={args.engine}, transport={transport}, "
+          f"loss={loss:g}")
     t0 = time.perf_counter()
     result = run_xlayer_wire_round(
         topology, models, seed=args.seed,
         latency=FixedLatency(args.delay_ms), engine=args.engine,
         parallel=args.parallel or "off",
+        loss_rate=loss, transport=transport, transport_opts=opts,
     )
     wall = time.perf_counter() - t0
 
@@ -351,10 +378,34 @@ def _run_xlayer(args: argparse.Namespace) -> int:
           f"{result.finish_time_ms:>10.1f} {n_peers - 1:>10,} "
           f"{bcast / 1e6:>9.2f}")
 
+    hs = result.heap_stats
+    print(f"\nwall:     {wall:.2f} s — {n_peers / wall:,.0f} peers/s, "
+          f"{result.messages_sent / wall:,.0f} msgs/s")
+    print(f"heap:     {hs['events_processed']:,} events processed, "
+          f"{hs['scheduled_total']:,} scheduled, "
+          f"peak {hs['peak_pending']:,} pending, "
+          f"{hs['entries']:,} entries left ({hs['dead']:,} dead), "
+          f"{hs['compactions']} compactions")
+    if transport == "reliable":
+        print(f"transport: {result.retransmits:,} retransmits, "
+              f"{result.acks:,} ACKs, "
+              f"{result.duplicates:,} duplicates suppressed, "
+              f"{result.exhausted:,} exhausted "
+              f"({result.exhausted_undelivered:,} undelivered), "
+              f"{result.dropped:,} frames dropped")
+    reason = f" — {result.outcome.reason}" if result.outcome.reason else ""
+    print(f"outcome:  {result.outcome.status}{reason}")
+
+    if transport != "fire_and_forget":
+        # Retransmission headers and ACK frames are honest wire traffic
+        # on top of the Eq. 10 payload, so the closed forms no longer
+        # gate; a completed typed outcome is the pass condition.
+        return 0 if result.outcome.ok else 1
+
     closed_bits = multi_layer_cost_bits(n, depth, d)
     closed_msgs = multi_layer_message_count(n, depth)
     closed_ms = multi_layer_round_latency_ms(depth, args.delay_ms)
-    print(f"\nbits:     measured {result.bits_sent / 1e9:.4f} Gb, "
+    print(f"bits:     measured {result.bits_sent / 1e9:.4f} Gb, "
           f"Eq. 10 {closed_bits / 1e9:.4f} Gb, "
           f"delta {result.bits_sent - closed_bits:+.0f}")
     print(f"messages: measured {result.messages_sent:,}, "
@@ -363,11 +414,6 @@ def _run_xlayer(args: argparse.Namespace) -> int:
     print(f"finish:   measured {result.finish_time_ms:.3f} sim-ms, "
           f"closed form {closed_ms:.3f} sim-ms, "
           f"delta {result.finish_time_ms - closed_ms:+.3f}")
-    hs = result.heap_stats
-    print(f"wall:     {wall:.2f} s — {n_peers / wall:,.0f} peers/s, "
-          f"{result.messages_sent / wall:,.0f} msgs/s, "
-          f"{hs['events_processed']:,} heap events "
-          f"({hs['compactions']} compactions)")
     exact = (
         result.bits_sent == closed_bits
         and result.messages_sent == closed_msgs
@@ -377,16 +423,62 @@ def _run_xlayer(args: argparse.Namespace) -> int:
     return 0 if exact else 1
 
 
+def _run_chaos_scale(args: argparse.Namespace) -> int:
+    """One chaos-at-scale trial: lossy reliable X-layer round at N peers."""
+    from .chaos.scale import DEFAULT_LOSS_RATE, run_scale_trial
+
+    loss = DEFAULT_LOSS_RATE if args.loss is None else args.loss
+    report = run_scale_trial(
+        args.scale, depth=args.depth,
+        loss_rate=loss, seed=args.seed, engine=args.engine,
+        parallel=args.parallel or "off", max_attempts=args.max_attempts,
+    )
+    print(f"chaos at scale: n={report.n}, depth={report.depth}, "
+          f"N={report.n_peers:,} peers (requested {args.scale:,}), "
+          f"loss={report.loss_rate:g}, engine={report.engine}")
+    print(f"wall:     {report.wall_s:.2f} s — "
+          f"{report.n_peers / report.wall_s:,.0f} peers/s")
+    print(f"round:    {report.messages_sent:,} messages, "
+          f"{report.bits_sent / 1e9:.3f} Gb, "
+          f"finish {report.finish_ms:,.1f} sim-ms")
+    print(f"transport: {report.retransmits:,} retransmits, "
+          f"{report.acks:,} ACKs, "
+          f"{report.duplicates:,} duplicates suppressed, "
+          f"{report.exhausted:,} exhausted, "
+          f"{report.dropped:,} frames dropped")
+    hs = report.heap
+    print(f"heap:     {hs['events_processed']:,} events processed, "
+          f"{hs['scheduled_total']:,} scheduled, "
+          f"peak {hs['peak_pending']:,} pending, "
+          f"{hs['entries']:,} entries left ({hs['dead']:,} dead), "
+          f"{hs['compactions']} compactions")
+    print(f"outcome:  {report.outcome}")
+    # A non-completed outcome here is still *typed* (a graded timeout is
+    # the expected result of an exhausted retransmit budget), so like a
+    # matrix 'degrade' it does not fail the run.
+    return 0
+
+
 def _run_chaos(args: argparse.Namespace) -> int:
     from .chaos import LAYERS, format_matrix, run_chaos_matrix
 
+    if args.scale is not None:
+        return _run_chaos_scale(args)
     profiles = args.profiles.split(",") if args.profiles else None
     layers = tuple(args.layers.split(",")) if args.layers else LAYERS
     reports = run_chaos_matrix(
         n_plans=args.plans, seed0=args.seed0,
-        profiles=profiles, layers=layers, transport=args.transport,
+        profiles=profiles, layers=layers,
+        transport=args.transport or "reliable",
     )
     print(format_matrix(reports))
+    heaps = [r.heap for r in reports if r.heap]
+    if heaps:
+        print(f"heap: {sum(h['scheduled_total'] for h in heaps):,} events "
+              f"scheduled, peak {max(h['peak_pending'] for h in heaps):,} "
+              f"pending, {sum(h['dead'] for h in heaps):,} dead entries, "
+              f"{sum(h['compactions'] for h in heaps)} compactions "
+              f"across {len(heaps)} wire trials")
     return 1 if any(r.failed for r in reports) else 0
 
 

@@ -21,6 +21,7 @@ from .runner import (
     run_sac_trial,
     run_two_layer_trial,
 )
+from .scale import ScaleReport, run_scale_trial
 from .schedule import (
     ArmedSchedule,
     Crash,
@@ -31,6 +32,7 @@ from .schedule import (
     PartitionWindow,
     Recover,
 )
+from .timeline import FaultTimeline
 
 __all__ = [
     "Crash",
@@ -40,6 +42,7 @@ __all__ = [
     "DelaySpike",
     "FaultEvent",
     "FaultSchedule",
+    "FaultTimeline",
     "ArmedSchedule",
     "ChaosProfile",
     "ChaosPlan",
@@ -54,4 +57,6 @@ __all__ = [
     "run_raft_trial",
     "run_chaos_matrix",
     "format_matrix",
+    "ScaleReport",
+    "run_scale_trial",
 ]

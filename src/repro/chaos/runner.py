@@ -47,6 +47,8 @@ class TrialReport:
     plan: str
     status: str  # 'pass' | 'degrade' | 'fail'
     detail: str
+    #: simulator heap telemetry of the chaos run (layers that surface it).
+    heap: dict | None = None
 
     @property
     def failed(self) -> bool:
@@ -137,6 +139,7 @@ def run_two_layer_trial(
     return TrialReport(
         layer="two_layer", profile=plan.profile, seed=seed,
         plan=plan.schedule.describe(), status=status, detail=detail,
+        heap=dict(result.heap_stats) or None,
     )
 
 

@@ -269,13 +269,29 @@ class FaultSchedule:
         if unknown:
             raise ValueError(f"schedule touches unknown nodes {unknown}")
 
+    def timeline(self, base_loss_rate: float = 0.0):
+        """Compile the schedule into a vectorized :class:`FaultTimeline`.
+
+        ``base_loss_rate`` is the network's ambient loss rate outside
+        every :class:`LossWindow` (the armed path restores it when a
+        window closes).  The timeline powers the wave engine's
+        issue-time fault queries; see :mod:`repro.chaos.timeline`.
+        """
+        from .timeline import FaultTimeline
+
+        return FaultTimeline(self, base_loss_rate=base_loss_rate)
+
     # ----------------------------------------------------------------- arming
     def arm(self, sim: Simulator, network: Network) -> "ArmedSchedule":
         """Schedule every event on ``sim`` against ``network``.
 
         Also installs the returned applier as the network's
         ``fault_oracle`` so failure detectors can distinguish permanent
-        crashes from ones with a recovery pending.
+        crashes from ones with a recovery pending, and a compiled
+        :class:`FaultTimeline` as ``network.fault_timeline`` so
+        ``send_batch`` waves issued on the same network see the same
+        faults (the timeline captures the network's current ambient
+        loss rate; it is inert for the per-message actor path).
         """
         armed = ArmedSchedule(schedule=self, sim=sim, network=network)
         obs = _obs.OBS
@@ -316,6 +332,7 @@ class FaultSchedule:
                 )
                 sim.schedule_at(event.t_end_ms, armed._close_spike)
         network.fault_oracle = armed
+        network.fault_timeline = self.timeline(network.loss_rate)
         return armed
 
 

@@ -1,0 +1,225 @@
+"""Vectorized fault timelines: a :class:`FaultSchedule` as array queries.
+
+The armed schedule (:meth:`FaultSchedule.arm`) injects faults by
+mutating live network state from simulator callbacks — correct for
+actor-driven rounds, but useless to the wave engine, which computes a
+whole batch of delivery fates *at issue time* in numpy.  A
+:class:`FaultTimeline` is the same schedule compiled into piecewise
+state functions over virtual time, so `repro.simnet.waves` can ask
+"was this link up at t?" or "what was the loss rate at t?" for a
+million (src, dst, t) triples in one vectorized pass.
+
+Semantics mirror the armed event callbacks exactly:
+
+- Every window is closed-start / open-end ``[t_start, t_end)``: an
+  armed event scheduled at ``t`` holds a smaller heap sequence number
+  than any message activity scheduled later at the same instant, so
+  state changes at ``t`` are visible to sends *at* ``t``.
+- ``Crash`` without a matching ``Recover`` keeps the node down forever.
+- ``LossWindow`` overrides — not adds to — the base loss rate, exactly
+  like the armed ``set_loss_rate`` swap.
+- Overlapping :class:`DelaySpike` windows sum their extra delays for
+  jointly affected endpoints (the armed path nests ``_SpikedLatency``
+  wrappers, which also sums).
+
+The timeline is installed on a network as ``net.fault_timeline``; it is
+inert for the actor path (``physical_send`` never consults it) and
+switches ``send_batch`` into item mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .schedule import (
+    Crash,
+    DelaySpike,
+    FaultSchedule,
+    LossWindow,
+    PartitionWindow,
+    Recover,
+)
+
+
+class _PartitionSpan:
+    """One partition window with O(log n) node → group lookup."""
+
+    __slots__ = ("t_start", "t_end", "nodes", "groups")
+
+    def __init__(self, window: PartitionWindow) -> None:
+        self.t_start = window.t_start_ms
+        self.t_end = window.t_end_ms
+        pairs = sorted(
+            (node, gi)
+            for gi, group in enumerate(window.groups)
+            for node in group
+        )
+        self.nodes = np.array([p[0] for p in pairs], dtype=np.int64)
+        self.groups = np.array([p[1] for p in pairs], dtype=np.int64)
+
+    def group_of(self, ids: np.ndarray) -> np.ndarray:
+        """Group index per node; ``-1`` for nodes outside every group
+        (those are isolated, matching ``Network.set_partition``)."""
+        pos = np.searchsorted(self.nodes, ids)
+        pos = np.minimum(pos, len(self.nodes) - 1)
+        out = self.groups[pos]
+        out = np.where(self.nodes[pos] == ids, out, -1)
+        return out
+
+
+class _DelaySpan:
+    __slots__ = ("t_start", "t_end", "extra", "nodes")
+
+    def __init__(self, spike: DelaySpike) -> None:
+        self.t_start = spike.t_start_ms
+        self.t_end = spike.t_end_ms
+        self.extra = spike.extra_delay_ms
+        self.nodes = (
+            None if spike.nodes is None
+            else np.array(sorted(spike.nodes), dtype=np.int64)
+        )
+
+
+class FaultTimeline:
+    """Array-query view of one :class:`FaultSchedule` (see module doc).
+
+    Build with :meth:`FaultSchedule.timeline`.  All query methods accept
+    equal-length numpy arrays and are pure functions of their inputs —
+    the timeline holds no mutable state, so precomputing a whole wave's
+    fates against it is sound.
+    """
+
+    def __init__(self, schedule: FaultSchedule, base_loss_rate: float = 0.0):
+        self.schedule = schedule
+        self.base_loss_rate = float(base_loss_rate)
+
+        # Piecewise-constant loss rate.  Windows are validated
+        # non-overlapping, so sorting by start gives disjoint spans.
+        edges = [-np.inf]
+        rates = [self.base_loss_rate]
+        for w in sorted(
+            (e for e in schedule.events if isinstance(e, LossWindow)),
+            key=lambda w: w.t_start_ms,
+        ):
+            edges.extend((w.t_start_ms, w.t_end_ms))
+            rates.extend((w.loss_rate, self.base_loss_rate))
+        self._loss_edges = np.array(edges, dtype=np.float64)
+        self._loss_rates = np.array(rates, dtype=np.float64)
+
+        # Crash intervals [t_crash, t_recover) per node; no Recover
+        # means the node stays down (end = +inf).  The schedule
+        # validator forbids double crashes, so intervals per node are
+        # disjoint and events arrive sorted by time.
+        open_at: dict[int, float] = {}
+        intervals: dict[int, list[tuple[float, float]]] = {}
+        recoveries: dict[int, list[float]] = {}
+        for event in schedule.events:
+            if isinstance(event, Crash):
+                open_at[event.node] = event.t_ms
+            elif isinstance(event, Recover):
+                start = open_at.pop(event.node)
+                intervals.setdefault(event.node, []).append(
+                    (start, event.t_ms)
+                )
+                recoveries.setdefault(event.node, []).append(event.t_ms)
+        for node, start in open_at.items():
+            intervals.setdefault(node, []).append((start, np.inf))
+        self._crash = {
+            node: (
+                np.array([s for s, _ in spans], dtype=np.float64),
+                np.array([e for _, e in spans], dtype=np.float64),
+            )
+            for node, spans in intervals.items()
+        }
+        self._recovery = {
+            node: np.array(sorted(times), dtype=np.float64)
+            for node, times in recoveries.items()
+        }
+
+        self._partitions = [
+            _PartitionSpan(e)
+            for e in schedule.events
+            if isinstance(e, PartitionWindow)
+        ]
+        self._spikes = [
+            _DelaySpan(e) for e in schedule.events if isinstance(e, DelaySpike)
+        ]
+
+    @property
+    def max_loss_rate(self) -> float:
+        """Highest loss rate anywhere on the timeline (base included)."""
+        return float(self._loss_rates.max())
+
+    # ------------------------------------------------------------- queries
+    def loss_rate_at(self, times: np.ndarray) -> np.ndarray:
+        """Effective loss rate at each instant (base outside windows)."""
+        times = np.asarray(times, dtype=np.float64)
+        pos = np.searchsorted(self._loss_edges, times, side="right") - 1
+        return self._loss_rates[pos]
+
+    def crashed_at(self, nodes: np.ndarray, times: np.ndarray) -> np.ndarray:
+        """Whether ``nodes[i]`` is down at ``times[i]``."""
+        nodes = np.asarray(nodes)
+        times = np.asarray(times, dtype=np.float64)
+        out = np.zeros(len(nodes), dtype=bool)
+        for node, (starts, ends) in self._crash.items():
+            sel = nodes == node
+            if not sel.any():
+                continue
+            t = times[sel]
+            hit = np.zeros(len(t), dtype=bool)
+            for s, e in zip(starts, ends):
+                hit |= (t >= s) & (t < e)
+            out[sel] = hit
+        return out
+
+    def recovery_at_or_after(
+        self, nodes: np.ndarray, times: np.ndarray
+    ) -> np.ndarray:
+        """Whether ``nodes[i]`` has a Recover at ``t >= times[i]``
+        (the ``may_recover`` oracle, vectorized)."""
+        nodes = np.asarray(nodes)
+        times = np.asarray(times, dtype=np.float64)
+        out = np.zeros(len(nodes), dtype=bool)
+        for node, recs in self._recovery.items():
+            sel = nodes == node
+            if sel.any():
+                out[sel] = times[sel] <= recs[-1]
+        return out
+
+    def link_up_at(
+        self, src: np.ndarray, dst: np.ndarray, times: np.ndarray
+    ) -> np.ndarray:
+        """Whether the ``src → dst`` link carries traffic at each instant:
+        both endpoints alive and (during a partition) in the same group."""
+        src = np.asarray(src)
+        dst = np.asarray(dst)
+        times = np.asarray(times, dtype=np.float64)
+        up = ~self.crashed_at(src, times) & ~self.crashed_at(dst, times)
+        for span in self._partitions:
+            sel = up & (times >= span.t_start) & (times < span.t_end)
+            if not sel.any():
+                continue
+            gs = span.group_of(src[sel])
+            gd = span.group_of(dst[sel])
+            up[sel] &= (gs == gd) & (gs >= 0)
+        return up
+
+    def extra_delay_at(
+        self, src: np.ndarray, dst: np.ndarray, times: np.ndarray
+    ) -> np.ndarray:
+        """Total straggler delay (ms) for messages *sent* at each instant."""
+        src = np.asarray(src)
+        dst = np.asarray(dst)
+        times = np.asarray(times, dtype=np.float64)
+        extra = np.zeros(len(times), dtype=np.float64)
+        for span in self._spikes:
+            sel = (times >= span.t_start) & (times < span.t_end)
+            if span.nodes is not None:
+                sel &= np.isin(src, span.nodes) | np.isin(dst, span.nodes)
+            extra[sel] += span.extra
+        return extra
+
+    # ------------------------------------------------------- scalar sugar
+    def describe(self) -> str:
+        return self.schedule.describe()

@@ -14,7 +14,7 @@ and with ``serialize_uplink=True`` the measured completion time tracks
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
@@ -180,6 +180,8 @@ class WireRoundResult:
     retransmits: int = 0
     #: messages the network failed to deliver (link down or random loss).
     drops: int = 0
+    #: simulator heap telemetry at round end (see ``Simulator.heap_stats``).
+    heap_stats: dict = field(default_factory=dict)
 
     @property
     def completed(self) -> bool:
@@ -494,6 +496,7 @@ def run_two_layer_wire_round(
         bits_by_kind=trace.by_kind(),
         retransmits=network.reliable.retransmits if network.reliable else 0,
         drops=trace.total_dropped,
+        heap_stats=sim.heap_stats(),
     )
 
 
@@ -637,4 +640,5 @@ def _run_parallel_round(
         bits_by_kind=by_kind,
         retransmits=0,
         drops=trace.total_dropped + sum(o.dropped for o in outcomes),
+        heap_stats=sim.heap_stats(),
     )

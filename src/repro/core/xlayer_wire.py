@@ -43,7 +43,9 @@ from ..par import check_parallel_mode, run_jobs
 from ..secure.batched import apply_divide_noise, draw_divide_noise
 from ..secure.sac import DEFAULT_BITS_PER_PARAM
 from ..simnet import Network, Simulator
-from ..simnet.network import LatencyModel
+from ..simnet.network import DEFAULT_DELAY_MS, LatencyModel
+from ..simnet.outcome import OUTCOME_COMPLETED, TIMED_OUT, RoundOutcome
+from ..simnet.reliable import check_transport
 from ..simnet.waves import check_engine
 from .multi_layer import MultiLayerTopology
 
@@ -79,6 +81,18 @@ class XLayerWireResult:
     layer_stats: tuple[XLayerLayerStats, ...]
     bits_by_kind: dict
     heap_stats: dict
+    #: wire-level round outcome.  The aggregate math always completes
+    #: (accounting waves carry no protocol state), but under loss or
+    #: faults a needed delivery may never land — then ``finish_time_ms``
+    #: is ``inf`` and the outcome is a typed timeout naming the cause.
+    outcome: RoundOutcome = OUTCOME_COMPLETED
+    transport: str = "fire_and_forget"
+    retransmits: int = 0
+    acks: int = 0
+    duplicates: int = 0
+    exhausted: int = 0
+    exhausted_undelivered: int = 0
+    dropped: int = 0
 
     @property
     def gigabits(self) -> float:
@@ -108,6 +122,19 @@ def _share_chunk_subtotals(chunk: _ShareChunk) -> np.ndarray:
     # sub[g, j] = sum over owners i of share_{i -> j}; summing axis 1
     # reduces the owner axis in index order, same as the per-group path.
     return shares.reshape(g_c, chunk.n, chunk.n, d).sum(axis=1)
+
+
+def _landed(times: np.ndarray) -> np.ndarray:
+    """Delivery times for the dependency dataflow: never-landed → inf.
+
+    The wave engine reports ``NaN`` for messages that never reached
+    their destination (all attempts lost, budget exhausted undelivered,
+    sender abandoned, receiver crashed).  For the round's dependency
+    chain that means "waits forever": ``inf`` propagates correctly
+    through the ``max`` reductions and downstream departure times, and
+    keeps the heap orderable (``NaN`` would poison comparisons).
+    """
+    return np.where(np.isnan(times), np.inf, times)
 
 
 def _layer_subtotals(
@@ -141,6 +168,10 @@ def run_xlayer_wire_round(
     latency: LatencyModel | None = None,
     engine: str = "wave",
     parallel: str = "off",
+    loss_rate: float = 0.0,
+    transport: str = "fire_and_forget",
+    transport_opts: dict | None = None,
+    schedule=None,
 ) -> XLayerWireResult:
     """Run one X-layer aggregation round over the simulated wire.
 
@@ -155,10 +186,23 @@ def run_xlayer_wire_round(
     group ships ``n-1`` uploads; distribution of the final model adds
     one ``|w|`` message per non-root peer.  Totals equal
     :func:`repro.core.costs.multi_layer_cost_bits` (all-SAC) or
-    :func:`~repro.core.costs.multi_layer_mixed_cost_bits` bit for bit.
+    :func:`~repro.core.costs.multi_layer_mixed_cost_bits` bit for bit
+    (under ``transport="reliable"`` retransmitted frames and ACKs add
+    honestly accounted overhead on top).
+
+    ``loss_rate`` drops each physical frame i.i.d.; it requires
+    ``transport="reliable"`` (stop-and-wait ACK/retransmit, vectorized
+    into attempt cohorts — see ``docs/performance.md``).  ``schedule``
+    is an optional :class:`repro.chaos.FaultSchedule`; it is compiled to
+    a :class:`repro.chaos.FaultTimeline` so crashes, partitions, loss
+    windows and delay spikes apply to every wave at issue time.  A
+    delivery that never lands (budget exhausted, sender abandoned,
+    receiver down) propagates ``inf`` through the dependency dataflow
+    and the round degrades to a typed ``timed_out`` outcome.
     """
     check_engine(engine)
     check_parallel_mode(parallel)
+    check_transport(transport)
     if method_for_layer is None:
         method_for_layer = lambda layer: "sac"
     n = topology.n
@@ -172,7 +216,26 @@ def run_xlayer_wire_round(
     share_rng = np.random.default_rng(seed)
     net_rng = np.random.default_rng([seed, 1])
     sim = Simulator()
-    net = Network(sim, latency=latency, rng=net_rng)
+    if transport == "reliable":
+        delay = getattr(latency, "delay_ms", DEFAULT_DELAY_MS)
+        opts = dict(transport_opts or {})
+        opts.setdefault("base_rto_ms", 4.0 * delay)
+        transport_opts = opts
+    net = Network(sim, latency=latency, rng=net_rng, loss_rate=loss_rate,
+                  transport=transport, transport_opts=transport_opts)
+    timeline = None
+    if schedule is not None:
+        schedule.validate_nodes(range(n_peers))
+        timeline = schedule.timeline(loss_rate)
+        net.fault_timeline = timeline
+    lossy = loss_rate > 0.0 or (
+        timeline is not None and timeline.max_loss_rate > 0.0
+    )
+    if lossy and transport != "reliable":
+        raise ValueError(
+            "lossy X-layer rounds need transport='reliable' (fire-and-forget "
+            "drops would stall the aggregation dataflow)"
+        )
 
     counts = np.ones(n_peers, dtype=np.int64)
     ready = np.zeros(n_peers, dtype=np.float64)
@@ -206,7 +269,9 @@ def run_xlayer_wire_round(
                     at_times=np.repeat(start, n * (n - 1)),
                     engine=engine,
                 )
-                arrivals = share_wave.delivery_times.reshape(g, n * (n - 1))
+                arrivals = _landed(share_wave.delivery_times).reshape(
+                    g, n * (n - 1)
+                )
                 # bundle[g, j]: member j holds all its shares (its own
                 # needs no wire hop, so only incoming arrivals count).
                 bundle = np.empty((g, n), dtype=np.float64)
@@ -221,7 +286,9 @@ def run_xlayer_wire_round(
                     at_times=bundle[:, 1:].reshape(-1),
                     engine=engine,
                 )
-                sub_arrivals = sub_wave.delivery_times.reshape(g, n - 1)
+                sub_arrivals = _landed(sub_wave.delivery_times).reshape(
+                    g, n - 1
+                )
                 done = np.maximum(bundle[:, 0], sub_arrivals.max(axis=1))
                 bits = g * (n * n - 1) * w_bits
                 msgs = g * (n * n - 1)
@@ -234,7 +301,9 @@ def run_xlayer_wire_round(
                     at_times=np.repeat(start, n - 1),
                     engine=engine,
                 )
-                up_arrivals = up_wave.delivery_times.reshape(g, n - 1)
+                up_arrivals = _landed(up_wave.delivery_times).reshape(
+                    g, n - 1
+                )
                 done = np.maximum(start, up_arrivals.max(axis=1))
                 bits = g * (n - 1) * w_bits
                 msgs = g * (n - 1)
@@ -265,17 +334,35 @@ def run_xlayer_wire_round(
                 at_times=np.repeat(dist[members[:, 0]], n - 1),
                 engine=engine,
             )
-            dist[followers] = bcast_wave.delivery_times
-        assert not np.isnan(dist).any()
+            dist[followers] = _landed(bcast_wave.delivery_times)
         finish = float(dist.max())
 
         # Drain the wire: replays every wave's deliveries through the
-        # heap, filling the byte-accounting trace.
-        sim.run(max_events=max(10_000_000, 4 * n_peers * (n + 2)))
+        # heap, filling the byte-accounting trace.  Reliable transport
+        # multiplies heap items by up to the attempt budget, hence the
+        # larger event allowance.
+        sim.run(max_events=max(10_000_000, 16 * n_peers * (n + 2)))
 
     layer_stats.reverse()  # top layer first, reading order
     average = sums[0] / counts[0]
     assert int(counts[0]) == n_peers
+    rel = net.reliable
+    if np.isfinite(finish):
+        outcome = OUTCOME_COMPLETED
+    else:
+        stalled = int(np.isinf(dist).sum())
+        if rel is not None:
+            reason = (
+                f"{stalled} peers never reached: "
+                f"{rel.exhausted_undelivered} sends exhausted undelivered, "
+                f"{net.trace.total_dropped} frames dropped"
+            )
+        else:
+            reason = (
+                f"{stalled} peers never reached "
+                f"({net.trace.total_dropped} frames dropped, no retransmit)"
+            )
+        outcome = RoundOutcome(TIMED_OUT, reason)
     return XLayerWireResult(
         average=average,
         finish_time_ms=finish,
@@ -288,4 +375,14 @@ def run_xlayer_wire_round(
         layer_stats=tuple(layer_stats),
         bits_by_kind=net.trace.by_kind(),
         heap_stats=sim.heap_stats(),
+        outcome=outcome,
+        transport=transport,
+        retransmits=0 if rel is None else rel.retransmits,
+        acks=0 if rel is None else rel.acks_sent,
+        duplicates=0 if rel is None else rel.duplicates_suppressed,
+        exhausted=0 if rel is None else len(rel.exhausted),
+        exhausted_undelivered=(
+            0 if rel is None else rel.exhausted_undelivered
+        ),
+        dropped=net.trace.total_dropped,
     )

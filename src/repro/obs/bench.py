@@ -325,6 +325,58 @@ def _run_xlayer_scale(params: dict, seed: int) -> dict:
     }
 
 
+def _run_chaos_scale(params: dict, seed: int) -> dict:
+    from ..chaos.scale import run_scale_trial
+
+    # The chaos-at-scale acceptance point in bench form: one lossy
+    # reliable X-layer round under the deterministic scale fault
+    # schedule (loss window + delay spike + leaf crash/recover pairs),
+    # run through the wave engine and replayed per-message.  Every
+    # sim-side ScaleReport field must agree across engines — the same
+    # identity benchmarks/test_chaos_scale.py gates at 10^5 peers —
+    # so the ``sim`` block is exact; wall measurements (wave vs scalar)
+    # ride in ``_resources``.
+    kw = dict(
+        target_peers=params["target_peers"], depth=params["depth"],
+        loss_rate=params["loss_rate"], seed=seed,
+        max_attempts=params["max_attempts"],
+    )
+    outer = _runtime.OBS
+    wave = run_scale_trial(engine="wave", **kw)
+    # The scalar replay emits one telemetry event per item; nest it in
+    # a rollup pipeline so it cannot swamp the profiled collector.
+    with outer.span("bench.chaos_scale_scalar", peers=wave.n_peers):
+        with _runtime.observe(retention="rollup"):
+            scalar = run_scale_trial(engine="scalar", **kw)
+    for name in ("n_peers", "finish_ms", "outcome", "average_sum",
+                 "bits_sent", "messages_sent", "retransmits", "acks",
+                 "duplicates", "exhausted", "dropped"):
+        assert getattr(wave, name) == getattr(scalar, name), (
+            f"engine mismatch on {name}: "
+            f"wave={getattr(wave, name)!r} scalar={getattr(scalar, name)!r}"
+        )
+    assert wave.outcome == "completed"
+    return {
+        "sim_time_ms": wave.finish_ms,
+        "bits": wave.bits_sent,
+        "messages": wave.messages_sent,
+        "n_peers": wave.n_peers,
+        "retransmits": wave.retransmits,
+        "acks": wave.acks,
+        "duplicates": wave.duplicates,
+        "exhausted": wave.exhausted,
+        "dropped": wave.dropped,
+        "wave_heap_events": wave.heap["events_processed"],
+        "scalar_heap_events": scalar.heap["events_processed"],
+        "_resources": {
+            "wall_wave_ms": wave.wall_s * 1e3,
+            "wall_scalar_ms": scalar.wall_s * 1e3,
+            "scalar_over_wave": scalar.wall_s / wave.wall_s,
+            "peers_per_sec": wave.n_peers / wave.wall_s,
+        },
+    }
+
+
 def _run_two_layer(params: dict, seed: int) -> dict:
     from ..core.topology import Topology
     from ..core.wire_round import run_two_layer_wire_round
@@ -491,6 +543,20 @@ def build_suite(
         "xlayer_scale", seed,
         {**xlayer, "model_params": 8, "delay_ms": 15.0},
         _run_xlayer_scale,
+    ))
+    # Chaos at scale: the lossy reliable wave path under a fault
+    # schedule, wave-vs-scalar sim-exact.  Smoke keeps the identical
+    # assertions at a few dozen peers; full prices a ~7k-peer campaign
+    # (the 10^5-peer point lives in benchmarks/test_chaos_scale.py).
+    chaos_scale = (
+        {"target_peers": 40, "depth": 3}
+        if smoke else
+        {"target_peers": 3000, "depth": 6}
+    )
+    suite.append(Scenario(
+        "chaos_scale", seed,
+        {**chaos_scale, "loss_rate": 0.2, "max_attempts": 10},
+        _run_chaos_scale,
     ))
     return suite
 

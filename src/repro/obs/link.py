@@ -13,6 +13,16 @@ bus and folds the causal net events into per-``(src, dst)``
 - **loss rate** — windowed fraction of dropped vs. delivered messages;
 - **retransmit rate** — transport retransmissions per logical send.
 
+The wave engine (`repro.simnet.waves`) does not emit one event per
+message: bulk runs publish *count-carrying* aggregates — a ``net.wave``
+issuance event, and ``net.deliver`` / ``net.drop`` /
+``net.retransmit`` events with a ``count`` field and (when the network
+sets ``link_accounting``) a ``links`` triple of per-pair
+``(src_ids, dst_ids, counts)`` arrays.  The handlers fold those in as
+weighted observations, so the per-pair counters match the scalar
+engine's message-by-message totals; only the latency pairing needs the
+causal per-message path.
+
 Snapshot the whole thing as a matrix (:meth:`LinkTelemetry.matrix`),
 JSON (:meth:`snapshot` — the ``/status`` endpoint serves this), or
 Prometheus gauges (:meth:`publish`).
@@ -75,6 +85,20 @@ class LinkStats:
         if len(self._outcomes) > self.window:
             self._outcomes.popleft()
 
+    def observe_outcomes(self, delivered: bool, count: int) -> None:
+        """Weighted outcome from an aggregate wave event: ``count``
+        identical outcomes at once, same totals and window state as
+        ``count`` scalar calls."""
+        if count <= 0:
+            return
+        if delivered:
+            self.delivered += count
+        else:
+            self.dropped += count
+        self._outcomes.extend((1 if delivered else 0,) * min(count, self.window))
+        while len(self._outcomes) > self.window:
+            self._outcomes.popleft()
+
     @property
     def latency_window_ms(self) -> Optional[float]:
         """Mean delivered latency over the sliding window."""
@@ -91,8 +115,13 @@ class LinkStats:
 
     @property
     def retransmit_rate(self) -> float:
-        """Transport retransmissions per logical send."""
-        return self.retransmits / self.sends if self.sends else 0.0
+        """Transport retransmissions per logical send.
+
+        Bulk wave runs never emit per-message ``net.send`` events, so
+        when no sends were seen the delivered count stands in as the
+        logical-send denominator (each message delivers once)."""
+        base = self.sends or self.delivered
+        return self.retransmits / base if base else 0.0
 
     def to_dict(self) -> dict:
         return {
@@ -144,6 +173,10 @@ class LinkTelemetry:
         # delivery never comes cannot grow the map without bound.
         self._pending: "OrderedDict[str, float]" = OrderedDict()
         self.events_seen = 0
+        #: aggregate totals from count-carrying ``net.wave`` issuance
+        #: events (the wave engine's stand-in for per-message sends).
+        self.wave_messages = 0
+        self.wave_dropped = 0
 
     # ----------------------------------------------------------- subscription
     def attach(self, bus: EventBus) -> "LinkTelemetry":
@@ -168,6 +201,8 @@ class LinkTelemetry:
             self._on_drop(event)
         elif name == "net.retransmit":
             self._on_retransmit(event)
+        elif name == "net.wave":
+            self._on_wave(event)
 
     def _pair(self, src: int, dst: int) -> LinkStats:
         stats = self._pairs.get((src, dst))
@@ -189,8 +224,20 @@ class LinkTelemetry:
             while len(self._pending) > self.max_pending:
                 self._pending.popitem(last=False)
 
+    def _on_wave(self, event: Event) -> None:
+        self.events_seen += 1
+        self.wave_messages += int(event.fields.get("count", 0))
+        self.wave_dropped += int(event.fields.get("dropped", 0))
+
     def _on_deliver(self, event: Event) -> None:
         self.events_seen += 1
+        links = event.fields.get("links")
+        if links is not None:
+            for src, dst, count in zip(*links):
+                self._pair(int(src), int(dst)).observe_outcomes(
+                    delivered=True, count=int(count)
+                )
+            return
         src, dst = event.node, event.fields.get("dst")
         if src is None or dst is None:
             return
@@ -206,6 +253,13 @@ class LinkTelemetry:
 
     def _on_drop(self, event: Event) -> None:
         self.events_seen += 1
+        links = event.fields.get("links")
+        if links is not None:
+            for src, dst, count in zip(*links):
+                self._pair(int(src), int(dst)).observe_outcomes(
+                    delivered=False, count=int(count)
+                )
+            return
         src, dst = event.node, event.fields.get("dst")
         if src is None or dst is None:
             return
@@ -215,6 +269,11 @@ class LinkTelemetry:
 
     def _on_retransmit(self, event: Event) -> None:
         self.events_seen += 1
+        links = event.fields.get("links")
+        if links is not None:
+            for src, dst, count in zip(*links):
+                self._pair(int(src), int(dst)).retransmits += int(count)
+            return
         src, dst = event.node, event.fields.get("dst")
         if src is None or dst is None:
             return
@@ -240,6 +299,8 @@ class LinkTelemetry:
                 self._pairs[key].to_dict() for key in sorted(self._pairs)
             ],
             "in_flight": len(self._pending),
+            "wave_messages": self.wave_messages,
+            "wave_dropped": self.wave_dropped,
         }
 
     def publish(self, metrics: MetricsRegistry) -> None:

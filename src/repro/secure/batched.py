@@ -41,7 +41,8 @@ from typing import Sequence
 
 import numpy as np
 
-from .seedshare import FLOAT_CODEC, RING_CODEC, SeedShare
+from .philox import expand_ring_batch
+from .seedshare import FLOAT_CODEC, SeedShare
 
 _MIN_SUM = 1e-3
 
@@ -263,9 +264,10 @@ def batched_seeded_ring_dense(
     """Materialized seeded ring splits for a whole batch.
 
     Bitwise identical to per-owner ``seeded_ring_shares(...).materialize()``
-    for every batch size (seed draws are sequential ``next64`` pairs and
-    the residual subtraction keeps the per-owner mask order, which is
-    exact mod ``2^64`` anyway).
+    for every batch size: seed draws are sequential ``next64`` pairs, all
+    ``b * (n - 1)`` masks expand in one vectorized Philox pass
+    (:func:`repro.secure.philox.expand_ring_batch`), and the residual
+    subtraction is exact mod ``2^64`` in any order.
     """
     _check_n(n)
     qstack = _as_batch(qstack, dtype=np.uint64)
@@ -273,16 +275,15 @@ def batched_seeded_ring_dense(
     shape = qstack.shape[1:]
     res = _residual_indices(b, n, residual_indices)
     out = np.empty((b, n) + shape, dtype=np.uint64)
-    keys = batched_seed_keys(b * (n - 1), rng).reshape(b, max(n - 1, 0), 2)
-    for i in range(b):
-        residual = qstack[i].copy()
-        slot = 0
-        for j in range(n):
-            if j == res[i]:
-                continue
-            mask = SeedShare(_seed_int(keys[i, slot]), shape, RING_CODEC).expand()
-            out[i, j] = mask
-            residual -= mask  # uint64 wraps mod 2^64
-            slot += 1
-        out[i, res[i]] = residual
+    keys = batched_seed_keys(b * (n - 1), rng)
+    d = int(np.prod(shape)) if shape else 1
+    masks = expand_ring_batch(keys[:, 0], keys[:, 1], d)
+    masks = masks.reshape((b, n - 1) + shape)
+    res_arr = np.asarray(res, dtype=np.int64)
+    slots = np.arange(n - 1)
+    # Scatter mask slot s of owner i to share index s (+1 past the
+    # owner's residual slot).
+    jj = slots[None, :] + (slots[None, :] >= res_arr[:, None])
+    out[np.arange(b)[:, None], jj] = masks
+    out[np.arange(b), res_arr] = qstack - masks.sum(axis=1, dtype=np.uint64)
     return out

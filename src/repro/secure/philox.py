@@ -1,0 +1,124 @@
+"""Batch Philox4x64-10 keystream expansion across many 128-bit keys.
+
+``repro.secure.seedshare`` expands each :class:`SeedShare` with its own
+``np.random.Generator(np.random.Philox(key=seed))`` — one generator
+construction plus one ``integers`` call per share.  At bench dims that
+per-share Python overhead dominates the actual keystream work.  Philox
+is a counter-based block cipher, so nothing forces the loop: every
+share's stream is a pure function of ``(key, block counter)``, and the
+whole subgroup's masks can be produced as one ``(n_keys, n_blocks)``
+vectorized pass over uint64 arrays.
+
+:func:`philox4x64_words` reimplements exactly the stream numpy's
+``Philox`` bit generator feeds to full-range ``uint64`` draws:
+
+- one 256-bit block per counter value, 10 rounds of the Philox S-P
+  network with the reference multipliers/Weyl constants;
+- numpy increments the counter *before* each block, so output block
+  ``b`` (0-based) is encrypted with counter ``(b + 1, 0, 0, 0)``;
+- a 128-bit seed ``(hi << 64) | lo`` maps to key words ``k0 = lo``,
+  ``k1 = hi``;
+- ``Generator.integers(0, 2**64, dtype=uint64)`` consumes exactly one
+  raw output word per element, in block order.
+
+The equality is pinned bit-for-bit in ``tests/secure/test_philox.py``
+and transitively by the seedshare/batched suites.  Only the uniform
+ring codec is vectorized here: the float codec's normal draws go
+through the ziggurat sampler, whose per-key rejection loops consume
+variable numbers of raw words and do not batch across keys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Reference Philox4x64 constants (Salmon et al., SC'11), identical to
+# numpy's ``_philox.pyx``.
+_M0 = np.uint64(0xD2E7470EE14C6C93)
+_M1 = np.uint64(0xCA5A826395121157)
+_W0 = np.uint64(0x9E3779B97F4A7C15)  # Weyl key increment, golden ratio
+_W1 = np.uint64(0xBB67AE8584CAA73B)  # sqrt(3) - 1
+_ROUNDS = 10
+
+_LO32 = np.uint64(0xFFFFFFFF)
+_SH32 = np.uint64(32)
+
+
+def _mulhilo(a: np.uint64, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """128-bit product of scalar ``a`` with uint64 array ``b`` → (hi, lo).
+
+    numpy has no 128-bit integer, so the high word is assembled from
+    32-bit partial products (schoolbook multiply); everything wraps mod
+    2^64, which is exactly what Philox wants.
+    """
+    lo = a * b
+    ah, al = a >> _SH32, a & _LO32
+    bh, bl = b >> _SH32, b & _LO32
+    t = ah * bl + ((al * bl) >> _SH32)
+    t2 = al * bh + (t & _LO32)
+    hi = ah * bh + (t >> _SH32) + (t2 >> _SH32)
+    return hi, lo
+
+
+def philox4x64_words(
+    k0: np.ndarray, k1: np.ndarray, n_blocks: int
+) -> np.ndarray:
+    """Raw Philox4x64-10 keystream for a batch of keys.
+
+    Parameters
+    ----------
+    k0, k1:
+        uint64 arrays of shape ``(n_keys,)`` — low and high key words.
+    n_blocks:
+        number of 4-word output blocks per key.
+
+    Returns
+    -------
+    ``(n_keys, 4 * n_blocks)`` uint64 array, bit-identical to
+    ``Generator(Philox(key=(k1 << 64) | k0)).integers(0, 2**64,
+    size=4 * n_blocks, dtype=uint64)`` row by row.
+    """
+    k0 = np.asarray(k0, dtype=np.uint64)
+    k1 = np.asarray(k1, dtype=np.uint64)
+    if k0.shape != k1.shape or k0.ndim != 1:
+        raise ValueError("k0/k1 must be equal-length 1-d uint64 arrays")
+    n_keys = k0.shape[0]
+    shape = (n_keys, n_blocks)
+    with np.errstate(over="ignore"):
+        # numpy advances the counter before generating: block b uses
+        # counter word c0 = b + 1 (c1 = c2 = c3 = 0).
+        c0 = np.broadcast_to(
+            np.arange(1, n_blocks + 1, dtype=np.uint64), shape
+        ).copy()
+        c1 = np.zeros(shape, dtype=np.uint64)
+        c2 = np.zeros(shape, dtype=np.uint64)
+        c3 = np.zeros(shape, dtype=np.uint64)
+        key0 = k0[:, None].copy()
+        key1 = k1[:, None].copy()
+        for _ in range(_ROUNDS):
+            hi0, lo0 = _mulhilo(_M0, c0)
+            hi1, lo1 = _mulhilo(_M1, c2)
+            c0, c1, c2, c3 = hi1 ^ c1 ^ key0, lo1, hi0 ^ c3 ^ key1, lo0
+            key0 = key0 + _W0
+            key1 = key1 + _W1
+    out = np.empty((n_keys, n_blocks, 4), dtype=np.uint64)
+    out[..., 0] = c0
+    out[..., 1] = c1
+    out[..., 2] = c2
+    out[..., 3] = c3
+    return out.reshape(n_keys, 4 * n_blocks)
+
+
+def expand_ring_batch(hi: np.ndarray, lo: np.ndarray, n_words: int) -> np.ndarray:
+    """Uniform ``Z_{2^64}`` masks for a batch of 128-bit seeds.
+
+    ``hi``/``lo`` are the seed halves (uint64 arrays, one entry per
+    share); returns ``(n_keys, n_words)`` uint64, row ``i`` bit-identical
+    to ``SeedShare(seed_i, (n_words,), RING_CODEC).expand()``.
+    """
+    if n_words < 0:
+        raise ValueError("n_words must be non-negative")
+    hi = np.asarray(hi, dtype=np.uint64)
+    n_blocks = -(-n_words // 4)  # ceil: whole 256-bit blocks, then trim
+    words = philox4x64_words(np.asarray(lo, dtype=np.uint64), hi, n_blocks)
+    return np.ascontiguousarray(words[:, :n_words])

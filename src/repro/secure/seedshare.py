@@ -186,6 +186,22 @@ def seeded_zero_sum_shares(
     return SeededShares(n, residual_index, residual, seeds, dense=dense)
 
 
+def expand_ring_seeds(
+    seeds: "list[int] | np.ndarray", shape: tuple[int, ...]
+) -> np.ndarray:
+    """Expand many ring-codec seeds in one vectorized Philox pass.
+
+    Returns ``(len(seeds), *shape)`` uint64, row ``i`` bit-identical to
+    ``SeedShare(seeds[i], shape, RING_CODEC).expand()``.
+    """
+    from .philox import expand_ring_batch
+
+    hi = np.array([int(s) >> 64 for s in seeds], dtype=np.uint64)
+    lo = np.array([int(s) & (_RING_HIGH - 1) for s in seeds], dtype=np.uint64)
+    d = int(np.prod(shape)) if shape else 1
+    return expand_ring_batch(hi, lo, d).reshape((len(hi),) + tuple(shape))
+
+
 def seeded_ring_shares(
     q: np.ndarray,
     n: int,
@@ -195,18 +211,32 @@ def seeded_ring_shares(
     """Seeded analogue of :func:`repro.secure.fixed_point.divide_ring`.
 
     Mask shares are uniform over ``Z_{2^64}``; the residual is computed
-    mod ``2^64``, so the share sum reconstructs ``q`` exactly.
+    mod ``2^64``, so the share sum reconstructs ``q`` exactly.  All
+    ``n - 1`` seeds are drawn in one RNG pass (bit-identical stream to
+    sequential :func:`draw_seed` calls — one ``next64`` per word) and
+    expanded in one vectorized Philox pass
+    (:func:`repro.secure.philox.expand_ring_batch`).
     """
     residual_index = _check_split(n, residual_index)
     q = np.asarray(q, dtype=np.uint64)
-    seeds: dict[int, SeedShare] = {}
+    words = rng.integers(0, _RING_HIGH, size=(n - 1, 2), dtype=np.uint64)
+    d = int(np.prod(q.shape)) if q.shape else 1
+    from .philox import expand_ring_batch
+
+    masks = expand_ring_batch(words[:, 0], words[:, 1], d)
+    masks = masks.reshape((n - 1,) + q.shape)
     dense = np.empty((n,) + q.shape, dtype=np.uint64)
-    residual = q.copy()
+    seeds: dict[int, SeedShare] = {}
+    slot = 0
     for j in range(n):
         if j == residual_index:
             continue
-        seeds[j] = SeedShare(draw_seed(rng), q.shape, RING_CODEC)
-        dense[j] = seeds[j].expand()
-        residual -= dense[j]  # uint64 wraps mod 2^64
+        seed = (int(words[slot, 0]) << 64) | int(words[slot, 1])
+        seeds[j] = SeedShare(seed, q.shape, RING_CODEC)
+        dense[j] = masks[slot]
+        slot += 1
+    # uint64 sums wrap mod 2^64 in any order: identical to sequential
+    # per-mask subtraction.
+    residual = q - masks.sum(axis=0, dtype=np.uint64)
     dense[residual_index] = residual
     return SeededShares(n, residual_index, residual, seeds, dense=dense)

@@ -41,7 +41,7 @@ from .reliable import (
     check_transport,
 )
 from .trace import MessageRecord, TraceRecorder, WaveRecord
-from .waves import ENGINES, DeliveryWave, check_engine
+from .waves import ENGINES, DeliveryWave, ItemWave, check_engine
 
 __all__ = [
     "Event",
@@ -59,6 +59,7 @@ __all__ = [
     "TraceRecorder",
     "WaveRecord",
     "DeliveryWave",
+    "ItemWave",
     "ENGINES",
     "check_engine",
     "ReliableTransport",

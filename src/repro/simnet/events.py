@@ -189,6 +189,25 @@ class EventQueue:
         event = self.peek_event()
         return event.time if event is not None else None
 
+    def heap_stats(self) -> dict:
+        """Occupancy counters for the raw heap.
+
+        ``entries`` counts raw heap slots (cancelled included — the honest
+        memory occupancy of lazy cancellation), ``dead`` the cancelled
+        entries still holding slots, ``compactions`` the rebuilds that
+        shed them.  Surfaced by the ``xlayer`` and ``chaos`` CLIs so
+        wave-vs-scalar heap pressure is visible without a profiler.
+        """
+        entries = len(self._heap)
+        return {
+            "entries": entries,
+            "live": self._live,
+            "dead": entries - self._live,
+            "scheduled_total": self._seq,
+            "peak_pending": self.peak_pending,
+            "compactions": self.compactions,
+        }
+
     def __len__(self) -> int:
         return self._live
 
@@ -229,14 +248,10 @@ class Simulator:
         mark over the simulation so far; ``compactions`` counts heap
         rebuilds that shed lazily-cancelled entries.
         """
-        return {
-            "pending": len(self._queue._heap),
-            "live": len(self._queue),
-            "peak_pending": self._queue.peak_pending,
-            "scheduled_total": self._queue._seq,
-            "events_processed": self.events_processed,
-            "compactions": self._queue.compactions,
-        }
+        stats = self._queue.heap_stats()
+        stats["pending"] = stats["entries"]  # legacy alias
+        stats["events_processed"] = self.events_processed
+        return stats
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
         """Schedule ``callback`` to run ``delay`` ms from now.

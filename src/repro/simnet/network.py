@@ -264,6 +264,18 @@ class Network:
         #: present, protocol-level failure detectors may ask it whether a
         #: crashed node has a recovery still pending.
         self.fault_oracle: Any = None
+        #: optional :class:`repro.chaos.FaultTimeline`: a closed-form
+        #: view of a fault schedule (loss/partition/crash/delay windows
+        #: as functions of time) consulted by ``send_batch`` so whole
+        #: waves can be fate-resolved without arming per-event callbacks.
+        #: Installed by :meth:`repro.chaos.FaultSchedule.arm` and the
+        #: X-layer chaos path.
+        self.fault_timeline: Any = None
+        #: attach per-link (src, dst, count) arrays to aggregate wave
+        #: obs events so :class:`repro.obs.link.LinkTelemetry` can keep
+        #: per-link rates under the wave engine.  Off by default: the
+        #: arrays are retained by any event sink that keeps events.
+        self.link_accounting: bool = False
         #: trace id stamped on every TraceContext this network allocates
         #: (one id per round/scenario; set by the round runners).
         self.trace_id: str = "trace"
@@ -477,9 +489,14 @@ class Network:
 
         ``engine="wave"`` schedules one heap entry for the whole batch
         (see :mod:`repro.simnet.waves`); ``engine="scalar"`` schedules
-        one per message — the pre-wave reference path, bit-identical in
-        delivery times, ``(time, seq)`` order and trace totals.
-        Requires the fire-and-forget transport; causal spans are not
+        one per message/item — the reference path, bit-identical in
+        delivery times, ``(time, seq)`` order and trace totals.  Under
+        ``transport="reliable"`` or an installed ``fault_timeline`` the
+        batch becomes an *item wave*: the whole stop-and-wait
+        ACK/retransmit state machine (attempt cohorts, backoff epochs,
+        ACK traffic, budget exhaustion) is precomputed vectorized and
+        replayed by either engine.  Without a timeline, fault state is
+        frozen at issue time for the whole wave.  Causal spans are not
         allocated for wave messages.
 
         Returns the :class:`~repro.simnet.waves.DeliveryWave`, whose

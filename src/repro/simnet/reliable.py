@@ -39,6 +39,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Optional
 
+import numpy as np
+
 from ..obs import runtime as _obs
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
@@ -279,5 +281,21 @@ class ReliableTransport:
         """
         return sum(
             1 for e in self.exhausted
-            if not e.delivered and not self.network.is_crashed(e.dst)
+            if not e.delivered and not self._dst_crashed(e.dst)
         )
+
+    def _dst_crashed(self, dst: int) -> bool:
+        """Crash state at inspection time, whichever injection mode ran.
+
+        Armed schedules mutate ``network._crashed`` live; wave rounds
+        driven by a :class:`~repro.chaos.timeline.FaultTimeline` leave
+        the network untouched, so the timeline is consulted at the
+        current virtual time instead.
+        """
+        if self.network.is_crashed(dst):
+            return True
+        tl = getattr(self.network, "fault_timeline", None)
+        if tl is None:
+            return False
+        now = np.array([self.network.sim.now])
+        return bool(tl.crashed_at(np.array([dst]), now)[0])

@@ -50,6 +50,7 @@ from typing import TYPE_CHECKING, Any, Optional, Sequence
 import numpy as np
 
 from ..obs import runtime as _obs
+from .reliable import ACK_BITS, FRAME_HEADER_BITS, ExhaustedSend
 from .trace import MessageRecord, WaveRecord
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -241,13 +242,6 @@ def send_batch(
 ) -> DeliveryWave:
     """Issue one delivery wave (the body of ``Network.send_batch``)."""
     check_engine(engine)
-    if net.reliable is not None:
-        raise ValueError(
-            "send_batch requires the fire-and-forget transport; "
-            "reliable sends go through Network.send"
-        )
-    if net.serialize_uplink:
-        raise ValueError("send_batch does not model serialized uplinks")
     src = np.ascontiguousarray(src_ids, dtype=np.int64)
     dst = np.ascontiguousarray(dst_ids, dtype=np.int64)
     if src.shape != dst.shape or src.ndim != 1:
@@ -268,6 +262,19 @@ def send_batch(
             raise ValueError("at_times must match src_ids in length")
         # Scalar scheduling clamps negative delays to "now"; same here.
         dep = np.maximum(dep, sim.now)
+
+    if net.reliable is not None or net.fault_timeline is not None:
+        # Reliable transport and/or time-varying faults: the per-message
+        # fate is a whole attempt/ACK state machine, precomputed as a
+        # flat *item* schedule and replayed by either engine.
+        if net.serialize_uplink:
+            raise ValueError(
+                "send_batch cannot combine serialize_uplink with the "
+                "reliable transport or a fault timeline"
+            )
+        return _send_batch_items(
+            net, src, dst, dep, size_bits, kind, msgs, engine
+        )
 
     # Issue-time fate, in the scalar path's decision order: link state
     # first, then one loss uniform per link-up message, then one latency
@@ -290,8 +297,15 @@ def send_batch(
     n_alive = int(alive.sum())
     delays = net.latency.sample_batch(src[alive], dst[alive], net.rng)
     if net.bandwidth_bps is not None and size_bits > 0:
-        delays = delays + 1000.0 * size_bits / net.bandwidth_bps
-    times_alive = dep[alive] + delays
+        transfer = 1000.0 * size_bits / net.bandwidth_bps
+        if net.serialize_uplink and n_alive:
+            times_alive = _serialized_times(
+                net, src[alive], dep[alive], delays, transfer
+            )
+        else:
+            times_alive = dep[alive] + delays + transfer
+    else:
+        times_alive = dep[alive] + delays
 
     delivery_times = np.full(m, np.nan, dtype=np.float64)
     delivery_times[alive] = times_alive
@@ -373,3 +387,726 @@ class _ScalarDelivery:
             ).labels(kind=self.wave.kind).inc(self.wave.size_bits)
         if self.msg is not None:
             net.deliver_to_node(self.src, self.dst, self.msg)
+
+
+# --------------------------------------------------------------------------
+# Serialized uplinks: per-destination busy-time prefix scan
+# --------------------------------------------------------------------------
+
+def _serialized_times(
+    net: "Network",
+    src_alive: np.ndarray,
+    dep_alive: np.ndarray,
+    delays: np.ndarray,
+    transfer_ms: float,
+) -> np.ndarray:
+    """Vectorized ``serialize_uplink`` delivery times for one wave.
+
+    Semantics: each sender's transfers queue FIFO on its uplink in
+    ``(departure, enumeration)`` order, exactly as a loop of
+    ``physical_send`` calls would have it — ``end_j = max(dep_j,
+    end_{j-1}) + T`` with ``end_0`` seeded from the network's persistent
+    ``_uplink_free`` state, and ``delivery_j = end_j + latency_j``.  The
+    recurrence is a segmented (per-source) cumulative max: writing
+    ``c_j = dep_j - rank_j * T`` (rank = position within the source's
+    queue), ``end_j = (rank_j + 1) * T + max(c_0..c_j)``.
+    """
+    n = len(src_alive)
+    order = np.lexsort((np.arange(n), dep_alive, src_alive))
+    so_src = src_alive[order]
+    so_dep = dep_alive[order]
+    new_grp = np.empty(n, dtype=bool)
+    new_grp[0] = True
+    new_grp[1:] = so_src[1:] != so_src[:-1]
+    grp_id = np.cumsum(new_grp) - 1
+    starts = np.flatnonzero(new_grp)
+    sizes = np.diff(np.append(starts, n))
+    rank = np.arange(n) - np.repeat(starts, sizes)
+    c = so_dep - rank * transfer_ms
+    busy0 = np.fromiter(
+        (net._uplink_free.get(int(s), 0.0) for s in so_src[starts]),
+        dtype=np.float64, count=len(starts),
+    )
+    c[starts] = np.maximum(c[starts], busy0)
+    # Segmented cummax via the offset trick: shift each group into its
+    # own disjoint value range so one global accumulate never leaks a
+    # maximum across group boundaries.
+    span = float(c.max() - c.min()) + 1.0
+    seg = np.maximum.accumulate(c + grp_id * span) - grp_id * span
+    end = (rank + 1) * transfer_ms + seg
+    last = np.append(starts[1:], n) - 1
+    for s, e in zip(so_src[starts], end[last]):
+        net._uplink_free[int(s)] = float(e)
+    times = np.empty(n, dtype=np.float64)
+    times[order] = end + delays[order]
+    return times
+
+
+# --------------------------------------------------------------------------
+# Item waves: lossy + reliable traffic as a precomputed item schedule
+# --------------------------------------------------------------------------
+#
+# With ``transport="reliable"`` (or a chaos fault timeline) a message is
+# no longer one delivery: it is a stop-and-wait state machine of
+# attempts, drops, ACKs and timers.  ``_item_schedule`` unrolls that
+# machine for the whole batch in one numpy pass per backoff epoch,
+# producing a flat list of *items* — atomic accounting steps (a
+# departure, a frame arrival, an ACK arrival, a drop, a retransmission,
+# a budget exhaustion), each with an absolute time.  Both engines then
+# replay the *same* sorted item list against the same contiguous
+# reserved seq block: ``engine="scalar"`` pushes one heap entry per item
+# (the honest per-event reference), ``engine="wave"`` replays maximal
+# runs from a single self-re-queuing entry — identical ``(time, seq)``
+# order, counters and trace totals by construction.
+#
+# Fate/RNG contract (shared by both engines since they share one
+# schedule): per epoch, in message-enumeration order — (1) one Bernoulli
+# uniform per link-up frame under a positive loss rate, (2) one
+# ``sample_batch`` latency draw per flying frame, (3) one uniform per
+# ACK issued under a positive loss rate, (4) one ``sample_batch`` draw
+# per flying ACK.  Link-down attempts consume no randomness (matching
+# ``physical_send``).
+#
+# Without a fault timeline, link state and crash flags are frozen at
+# issue time: item waves never observe *live* ``crash()`` /
+# ``set_partition`` calls made after the batch was issued (use a
+# ``FaultTimeline`` for time-varying faults).  A sender crashed at issue
+# burns attempt 1 against the dead link and is then silently abandoned
+# at its first RTO — no exhaustion record — mirroring the scalar
+# transport's crash-before-exhaustion check order.
+
+_T_RETRANS = 0     # retransmission fires (attempt k >= 2 leaves the sender)
+_T_LINKDOWN = 1    # frame dropped at send: link down / endpoint crashed
+_T_LOST = 2        # frame dropped at send: random loss
+_T_DEPART = 3      # frame physically departs (in-flight gauge +1)
+_T_FRAME_MID = 4   # frame dropped at arrival: link died mid-flight
+_T_ARR_ACKUP = 5   # frame arrives, ACK issued and flying
+_T_ARR_ACKLOST = 6 # frame arrives, ACK issued but lost at send
+_T_ACK_MID = 7     # ACK dropped at arrival: link died mid-flight
+_T_ACK_ARR = 8     # ACK arrives back at the sender
+_T_ARR_PLAIN = 9   # fire-and-forget frame arrives (timeline mode)
+_T_EXHAUST = 10    # retransmit budget exhausted without an ACK
+
+_N_TYPES = 11
+
+#: net in-flight gauge delta per item type.  ``_T_ARR_ACKUP`` is a wash
+#: (frame lands -1, ACK departs +1 at the same instant — the dip never
+#: raises the peak), so it contributes 0.
+_IF_DELTA = np.zeros(_N_TYPES, dtype=np.int64)
+_IF_DELTA[_T_DEPART] = 1
+for _t in (_T_FRAME_MID, _T_ARR_ACKLOST, _T_ACK_MID, _T_ACK_ARR,
+           _T_ARR_PLAIN):
+    _IF_DELTA[_t] = -1
+del _t
+
+_ARR_TYPES = (_T_ARR_ACKUP, _T_ARR_ACKLOST, _T_ARR_PLAIN)
+
+#: safety cap on crashed-sender hold iterations (a held frame re-probes
+#: once per backoff period until its sender recovers or is abandoned).
+_MAX_HOLD_PROBES = 100_000
+
+
+def _apply_holds(
+    tl, srcs: np.ndarray, times: np.ndarray, rto_hold: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Crashed-sender RTO holds: shift probe times past recovery.
+
+    At an RTO the scalar transport first checks the *sender*: crashed
+    with a recovery pending, the frame is held (attempts unburned) and
+    re-probed one backoff period later; crashed for good, it is silently
+    abandoned.  Returns the (possibly shifted) fire times and the
+    abandoned mask.
+    """
+    times = times.astype(np.float64).copy()
+    abandoned = np.zeros(len(times), dtype=bool)
+    for _ in range(_MAX_HOLD_PROBES):
+        held = tl.crashed_at(srcs, times) & ~abandoned
+        if not held.any():
+            return times, abandoned
+        hi = np.flatnonzero(held)
+        recovers = tl.recovery_at_or_after(srcs[hi], times[hi])
+        abandoned[hi[~recovers]] = True
+        times[hi[recovers]] += rto_hold
+    raise RuntimeError(
+        "crashed-sender hold did not converge; check the fault timeline"
+    )
+
+
+def _send_batch_items(
+    net: "Network",
+    src: np.ndarray,
+    dst: np.ndarray,
+    dep: np.ndarray,
+    size_bits: float,
+    kind: str,
+    msgs: Optional[Sequence[Any]],
+    engine: str,
+) -> "ItemWave":
+    """Compute and launch an item wave (reliable and/or timeline mode)."""
+    sim = net.sim
+    m = len(src)
+    rel = net.reliable
+    tl = net.fault_timeline
+    if rel is not None:
+        base_rto = rel.base_rto_ms
+        backoff = rel.backoff
+        max_att = rel.max_attempts
+        frame_bits = size_bits + FRAME_HEADER_BITS
+    else:
+        base_rto = backoff = 0.0
+        max_att = 1
+        frame_bits = size_bits
+    bw = net.bandwidth_bps
+    frame_tx = 1000.0 * frame_bits / bw if (bw is not None and frame_bits > 0) else 0.0
+    ack_tx = 1000.0 * ACK_BITS / bw if bw is not None else 0.0
+
+    attempt_t = dep.copy()
+    active = np.ones(m, dtype=bool)
+    attempts = np.zeros(m, dtype=np.int64)
+    first_arr = np.full(m, np.nan, dtype=np.float64)
+    min_ack = np.full(m, np.inf, dtype=np.float64)
+
+    if tl is None:
+        if net._fault_free:
+            up_static = np.ones(m, dtype=bool)
+            src_crashed = np.zeros(m, dtype=bool)
+        else:
+            up_static = np.fromiter(
+                (net.link_up(int(s), int(d)) for s, d in zip(src, dst)),
+                dtype=bool, count=m,
+            )
+            src_crashed = np.fromiter(
+                (net.is_crashed(int(s)) for s in src), dtype=bool, count=m,
+            )
+
+    buf_t: list[np.ndarray] = []
+    buf_type: list[np.ndarray] = []
+    buf_idx: list[np.ndarray] = []
+    buf_flag: list[np.ndarray] = []
+    buf_aux: list[np.ndarray] = []
+
+    def emit(t, typ, idx, flag=None, aux=0):
+        n = len(idx)
+        if n == 0:
+            return
+        buf_t.append(np.asarray(t, dtype=np.float64))
+        t8 = np.asarray(typ, dtype=np.int8)
+        buf_type.append(np.full(n, t8) if t8.ndim == 0 else t8)
+        buf_idx.append(np.asarray(idx, dtype=np.int64))
+        buf_flag.append(
+            np.zeros(n, dtype=bool) if flag is None
+            else np.asarray(flag, dtype=bool)
+        )
+        buf_aux.append(np.full(n, aux, dtype=np.int32))
+
+    def loss_mask(t_send, count):
+        """One uniform per message under a positive loss rate, in order."""
+        lost = np.zeros(count, dtype=bool)
+        if tl is None:
+            if net.loss_rate > 0.0 and count:
+                lost = net.rng.random(count) < net.loss_rate
+        else:
+            rates = tl.loss_rate_at(t_send)
+            draw = rates > 0.0
+            n_draw = int(draw.sum())
+            if n_draw:
+                lost[draw] = net.rng.random(n_draw) < rates[draw]
+        return lost
+
+    for k in range(1, max_att + 1):
+        idx_k = np.flatnonzero(active)
+        if idx_k.size == 0:
+            break
+        t_k = attempt_t[idx_k]
+        attempts[idx_k] = k
+        if k >= 2:
+            emit(t_k, _T_RETRANS, idx_k, aux=k)
+        if tl is None:
+            up = up_static[idx_k]
+        else:
+            up = tl.link_up_at(src[idx_k], dst[idx_k], t_k)
+        emit(t_k[~up], _T_LINKDOWN, idx_k[~up])
+        fly_idx = idx_k[up]
+        t_up = t_k[up]
+        lost = loss_mask(t_up, len(fly_idx))
+        emit(t_up[lost], _T_LOST, fly_idx[lost])
+        go_idx = fly_idx[~lost]
+        t_go = t_up[~lost]
+        lat = net.latency.sample_batch(src[go_idx], dst[go_idx], net.rng)
+        if tl is not None:
+            lat = lat + tl.extra_delay_at(src[go_idx], dst[go_idx], t_go)
+        t_arr = t_go + lat + frame_tx
+        emit(t_go, _T_DEPART, go_idx)
+        if tl is not None:
+            arr_up = tl.link_up_at(src[go_idx], dst[go_idx], t_arr)
+            emit(t_arr[~arr_up], _T_FRAME_MID, go_idx[~arr_up])
+            go_idx = go_idx[arr_up]
+            t_arr = t_arr[arr_up]
+        first_arr[go_idx] = np.fmin(first_arr[go_idx], t_arr)
+        if rel is None:
+            emit(t_arr, _T_ARR_PLAIN, go_idx)
+            continue
+        # The destination ACKs every arrived frame (duplicates included).
+        # Link symmetry means the ACK's link is up at the frame's arrival
+        # instant, so the only issue-time ACK fate is random loss.
+        ack_lost = loss_mask(t_arr, len(go_idx))
+        # One interleaved emission in message-enumeration order: a
+        # category-split (all ACKLOST, then all ACKUP) would reorder
+        # same-instant arrivals at a shared destination away from the
+        # actor loop's (time, seq) delivery order.
+        emit(t_arr, np.where(ack_lost, _T_ARR_ACKLOST, _T_ARR_ACKUP),
+             go_idx)
+        af_idx = go_idx[~ack_lost]
+        t_af = t_arr[~ack_lost]
+        alat = net.latency.sample_batch(dst[af_idx], src[af_idx], net.rng)
+        if tl is not None:
+            alat = alat + tl.extra_delay_at(dst[af_idx], src[af_idx], t_af)
+        t_ack = t_af + alat + ack_tx
+        if tl is not None:
+            ack_up = tl.link_up_at(dst[af_idx], src[af_idx], t_ack)
+            emit(t_ack[~ack_up], _T_ACK_MID, af_idx[~ack_up])
+            af_idx = af_idx[ack_up]
+            t_ack = t_ack[ack_up]
+        emit(t_ack, _T_ACK_ARR, af_idx)
+        min_ack[af_idx] = np.minimum(min_ack[af_idx], t_ack)
+        if k == max_att:
+            break
+        # Stopping rule: the RTO timer set at t_k fires at T_next; an ACK
+        # at exactly T_next loses the tie (the timer's seq was assigned
+        # at t_k, the ACK's at its later arrival), so ``>=`` continues —
+        # one extra epoch whose own timer then never fires.
+        rto_k = base_rto * backoff ** (k - 1)
+        t_next = attempt_t[idx_k] + rto_k
+        cont = min_ack[idx_k] >= t_next
+        if tl is None:
+            cont &= ~src_crashed[idx_k]
+            attempt_t[idx_k[cont]] = t_next[cont]
+            keep = idx_k[cont]
+        else:
+            ci = idx_k[cont]
+            new_t, abandoned = _apply_holds(tl, src[ci], t_next[cont], rto_k)
+            keep = ci[~abandoned]
+            attempt_t[keep] = new_t[~abandoned]
+        active[:] = False
+        active[keep] = True
+
+    if rel is not None:
+        idx_e = np.flatnonzero(active & (attempts == max_att))
+        if idx_e.size:
+            rto_f = base_rto * backoff ** (max_att - 1)
+            t_fin = attempt_t[idx_e] + rto_f
+            ex = min_ack[idx_e] >= t_fin
+            idx_e = idx_e[ex]
+            t_fin = t_fin[ex]
+            if tl is None:
+                alive_src = ~src_crashed[idx_e]
+                idx_e = idx_e[alive_src]
+                t_fin = t_fin[alive_src]
+            else:
+                t_fin, abandoned = _apply_holds(tl, src[idx_e], t_fin, rto_f)
+                idx_e = idx_e[~abandoned]
+                t_fin = t_fin[~abandoned]
+            delivered = ~np.isnan(first_arr[idx_e]) & (
+                first_arr[idx_e] <= t_fin
+            )
+            emit(t_fin, _T_EXHAUST, idx_e, flag=delivered, aux=max_att)
+
+    # ---------------------------------------------------------- assembly
+    if buf_t:
+        it_t = np.concatenate(buf_t)
+        it_type = np.concatenate(buf_type)
+        it_idx = np.concatenate(buf_idx)
+        it_flag = np.concatenate(buf_flag)
+        it_aux = np.concatenate(buf_aux)
+    else:
+        it_t = np.empty(0, dtype=np.float64)
+        it_type = np.empty(0, dtype=np.int8)
+        it_idx = np.empty(0, dtype=np.int64)
+        it_flag = np.empty(0, dtype=bool)
+        it_aux = np.empty(0, dtype=np.int32)
+    # Stable sort on time; creation order (= epoch order, categories in
+    # scalar decision order within an epoch) breaks ties, and the
+    # contiguous reserved seq block makes that order the global one.
+    order = np.argsort(it_t, kind="stable")
+    it_t = it_t[order]
+    it_type = it_type[order]
+    it_idx = it_idx[order]
+    it_flag = it_flag[order]
+    it_aux = it_aux[order]
+    # First arrival per message (in global order) carries the payload;
+    # later arrivals are transport duplicates.
+    arr_sel = np.isin(it_type, _ARR_TYPES)
+    arr_pos = np.flatnonzero(arr_sel)
+    if arr_pos.size:
+        _, first_pos = np.unique(it_idx[arr_pos], return_index=True)
+        it_flag[arr_pos] = False
+        it_flag[arr_pos[first_pos]] = True
+
+    delivered_msgs = ~np.isnan(first_arr)
+    wave = ItemWave(
+        net, kind, size_bits, frame_bits, engine, first_arr, delivered_msgs,
+        attempts, src, dst, msgs, it_t, it_type, it_idx, it_flag, it_aux,
+    )
+    obs = _obs.OBS
+    if obs.enabled:
+        obs.emit("net.wave", t_ms=sim.now, kind=kind, count=m,
+                 bits=m * size_bits, dropped=0, engine=engine,
+                 transport=net.transport_mode)
+    n_items = len(it_t)
+    if n_items == 0:
+        return wave
+    seq0 = sim._queue.reserve(n_items)
+    wave._seqs = seq0 + np.arange(n_items, dtype=np.int64)
+    if engine == "scalar":
+        for p in range(n_items):
+            sim._queue.push_at(
+                float(it_t[p]), int(wave._seqs[p]), _ScalarItem(wave, p)
+            )
+        return wave
+    sim._queue.push_at(float(it_t[0]), int(wave._seqs[0]), wave._fire)
+    return wave
+
+
+class ItemWave:
+    """A reliable / timeline-mode delivery wave and its replay state.
+
+    Mirrors :class:`DeliveryWave`'s result surface (``delivery_times``
+    is each message's *first* successful frame arrival, NaN if the
+    payload never landed; ``count``/``dropped``/``done``) and adds
+    ``attempts`` (transmissions per message).  Unlike the fire-and-forget
+    wave, the in-flight gauge moves at item times (departures/arrivals),
+    not at issue.
+    """
+
+    __slots__ = (
+        "net", "kind", "size_bits", "frame_bits", "engine",
+        "delivery_times", "delivered", "count", "dropped", "attempts",
+        "_src", "_dst", "_msgs", "_it_t", "_it_type", "_it_idx",
+        "_it_flag", "_it_aux", "_seqs", "_pos",
+    )
+
+    def __init__(self, net, kind, size_bits, frame_bits, engine,
+                 delivery_times, delivered, attempts, src, dst, msgs,
+                 it_t, it_type, it_idx, it_flag, it_aux):
+        self.net = net
+        self.kind = kind
+        self.size_bits = size_bits
+        self.frame_bits = frame_bits
+        self.engine = engine
+        self.delivery_times = delivery_times
+        self.delivered = delivered
+        self.count = int(delivered.sum())
+        self.dropped = len(delivered) - self.count
+        self.attempts = attempts
+        self._src = src
+        self._dst = dst
+        self._msgs = msgs
+        self._it_t = it_t
+        self._it_type = it_type
+        self._it_idx = it_idx
+        self._it_flag = it_flag
+        self._it_aux = it_aux
+        self._seqs = np.empty(0, dtype=np.int64)
+        self._pos = 0
+
+    @property
+    def done(self) -> bool:
+        return self._pos >= len(self._it_t)
+
+    # ------------------------------------------------------------- firing
+    def _cut(self, i: int, head) -> int:
+        times, seqs = self._it_t, self._seqs
+        n = len(times)
+        if head is None:
+            return n
+        ht, hs = head.time, head.seq
+        j = int(np.searchsorted(times, ht, side="left"))
+        if j < i:
+            return i
+        end = int(np.searchsorted(times, ht, side="right"))
+        while j < end and seqs[j] < hs:
+            j += 1
+        return j
+
+    def _fire(self) -> None:
+        net = self.net
+        queue = net.sim._queue
+        n = len(self._it_t)
+        i = self._pos
+        while i < n:
+            head = queue.peek_event()
+            j = self._cut(i, head)
+            if j <= i:
+                self._pos = i
+                queue.push_at(
+                    float(self._it_t[i]), int(self._seqs[i]), self._fire
+                )
+                return
+            if self._msgs is None:
+                self._bulk_run(i, j)
+                i = j
+            else:
+                # Payload handlers may schedule events mid-run.
+                self._apply_item(i)
+                self._pos = i = i + 1
+        self._pos = n
+
+    # -------------------------------------------------- per-item semantics
+    def _apply_item(self, p: int) -> None:
+        net = self.net
+        rel = net.reliable
+        t = float(self._it_t[p])
+        net.sim.advance_to(t)
+        typ = int(self._it_type[p])
+        i = int(self._it_idx[p])
+        src = int(self._src[i])
+        dst = int(self._dst[i])
+        obs = _obs.OBS
+        if typ == _T_DEPART:
+            net.in_flight += 1
+            if net.in_flight > net.peak_in_flight:
+                net.peak_in_flight = net.in_flight
+        elif typ == _T_RETRANS:
+            rel.retransmits += 1
+            if obs.enabled:
+                obs.emit("net.retransmit", t_ms=t, node=src, dst=dst,
+                         kind=self.kind, attempt=int(self._it_aux[p]))
+                obs.metrics.counter(
+                    "net_retransmits_total",
+                    "Data-frame retransmissions by kind.", labels=("kind",),
+                ).labels(kind=self.kind).inc()
+        elif typ == _T_LINKDOWN:
+            net._drop(src, dst, self.kind, self.frame_bits, "link_down")
+        elif typ == _T_LOST:
+            net._drop(src, dst, self.kind, self.frame_bits, "loss")
+        elif typ == _T_FRAME_MID:
+            net.in_flight -= 1
+            net._drop(src, dst, self.kind, self.frame_bits, "in_flight",
+                      silent=True)
+        elif typ in (_T_ARR_ACKUP, _T_ARR_ACKLOST, _T_ARR_PLAIN):
+            if typ != _T_ARR_ACKUP:
+                net.in_flight -= 1
+            net.bus.publish_message(
+                MessageRecord(t, src, dst, self.kind, self.frame_bits,
+                              delivered=True)
+            )
+            if obs.enabled:
+                obs.emit("net.deliver", t_ms=t, node=src, dst=dst,
+                         kind=self.kind, bits=self.frame_bits)
+                obs.metrics.counter(
+                    "net_messages_total", "Delivered messages by kind.",
+                    labels=("kind",),
+                ).labels(kind=self.kind).inc()
+                obs.metrics.counter(
+                    "net_bits_total", "Delivered bits by kind.",
+                    labels=("kind",),
+                ).labels(kind=self.kind).inc(self.frame_bits)
+            if typ != _T_ARR_PLAIN:
+                rel.acks_sent += 1
+                if obs.enabled:
+                    obs.metrics.counter(
+                        "net_acks_total", "Transport ACK frames sent.",
+                    ).inc()
+                if typ == _T_ARR_ACKLOST:
+                    net._drop(dst, src, "net.ack", ACK_BITS, "loss")
+            if self._it_flag[p]:
+                if self._msgs is not None:
+                    net.deliver_to_node(src, dst, self._msgs[i])
+            elif typ != _T_ARR_PLAIN:
+                rel.duplicates_suppressed += 1
+        elif typ == _T_ACK_MID:
+            net.in_flight -= 1
+            net._drop(dst, src, "net.ack", ACK_BITS, "in_flight",
+                      silent=True)
+        elif typ == _T_ACK_ARR:
+            net.in_flight -= 1
+            net.bus.publish_message(
+                MessageRecord(t, dst, src, "net.ack", ACK_BITS,
+                              delivered=True)
+            )
+            if obs.enabled:
+                obs.emit("net.deliver", t_ms=t, node=dst, dst=src,
+                         kind="net.ack", bits=ACK_BITS)
+                obs.metrics.counter(
+                    "net_messages_total", "Delivered messages by kind.",
+                    labels=("kind",),
+                ).labels(kind="net.ack").inc()
+                obs.metrics.counter(
+                    "net_bits_total", "Delivered bits by kind.",
+                    labels=("kind",),
+                ).labels(kind="net.ack").inc(ACK_BITS)
+        else:  # _T_EXHAUST
+            delivered = bool(self._it_flag[p])
+            rel.exhausted.append(
+                ExhaustedSend(src, dst, self.kind, delivered=delivered)
+            )
+            if obs.enabled:
+                obs.emit("net.retransmit_exhausted", t_ms=t, node=src,
+                         dst=dst, kind=self.kind,
+                         attempts=int(self._it_aux[p]), delivered=delivered)
+                obs.metrics.counter(
+                    "net_retransmit_exhausted_total",
+                    "Frames abandoned after the retransmit budget.",
+                    labels=("kind",),
+                ).labels(kind=self.kind).inc()
+
+    # ------------------------------------------------------ bulk semantics
+    def _links(self, sel: np.ndarray, swap: bool = False):
+        """Aggregate (src, dst, count) triples for one run category."""
+        s = self._src[self._it_idx[sel]]
+        d = self._dst[self._it_idx[sel]]
+        if swap:
+            s, d = d, s
+        pairs = np.stack([s, d])
+        uniq, counts = np.unique(pairs, axis=1, return_counts=True)
+        return uniq[0], uniq[1], counts
+
+    def _bulk_run(self, a: int, b: int) -> None:
+        """Replay items ``a..b-1`` as aggregate accounting steps."""
+        net = self.net
+        rel = net.reliable
+        t_end = float(self._it_t[b - 1])
+        net.sim.advance_to(t_end)
+        types = self._it_type[a:b]
+        tt = self._it_t[a:b]
+        flags = self._it_flag[a:b]
+        obs = _obs.OBS
+        links = obs.enabled and net.link_accounting
+
+        deltas = _IF_DELTA[types]
+        cum = np.cumsum(deltas)
+        peak = net.in_flight + int(cum.max())
+        if peak > net.peak_in_flight:
+            net.peak_in_flight = peak
+        net.in_flight += int(cum[-1])
+
+        counts = np.bincount(types, minlength=_N_TYPES)
+
+        def slice_sel(local):
+            sel = np.zeros(len(self._it_t), dtype=bool)
+            sel[a:b] = local
+            return sel
+
+        def drop(mask, count, dkind, bits, reason, silent=False):
+            t = float(tt[mask][-1])
+            if not silent:
+                net.bus.publish_message(
+                    WaveRecord(t, dkind, count, count * bits,
+                               delivered=False)
+                )
+            if obs.enabled:
+                fields = dict(t_ms=t, kind=dkind, bits=count * bits,
+                              count=count, reason=reason)
+                if links:
+                    swap = dkind == "net.ack"
+                    fields["links"] = self._links(slice_sel(mask), swap=swap)
+                obs.emit("net.drop", **fields)
+                obs.metrics.counter(
+                    "net_dropped_total",
+                    "Dropped messages by reason and kind.",
+                    labels=("reason", "kind"),
+                ).labels(reason=reason, kind=dkind).inc(count)
+
+        n_re = int(counts[_T_RETRANS])
+        if n_re:
+            rel.retransmits += n_re
+            if obs.enabled:
+                mask = types == _T_RETRANS
+                fields = dict(t_ms=float(tt[mask][-1]), kind=self.kind,
+                              count=n_re)
+                if links:
+                    fields["links"] = self._links(slice_sel(mask))
+                obs.emit("net.retransmit", **fields)
+                obs.metrics.counter(
+                    "net_retransmits_total",
+                    "Data-frame retransmissions by kind.", labels=("kind",),
+                ).labels(kind=self.kind).inc(n_re)
+        if counts[_T_LINKDOWN]:
+            drop(types == _T_LINKDOWN, int(counts[_T_LINKDOWN]), self.kind,
+                 self.frame_bits, "link_down")
+        if counts[_T_LOST]:
+            drop(types == _T_LOST, int(counts[_T_LOST]), self.kind,
+                 self.frame_bits, "loss")
+        if counts[_T_FRAME_MID]:
+            drop(types == _T_FRAME_MID, int(counts[_T_FRAME_MID]), self.kind,
+                 self.frame_bits, "in_flight", silent=True)
+
+        n_arr = int(counts[_T_ARR_ACKUP] + counts[_T_ARR_ACKLOST]
+                    + counts[_T_ARR_PLAIN])
+        if n_arr:
+            arr_mask = np.isin(types, _ARR_TYPES)
+            t = float(tt[arr_mask][-1])
+            net.bus.publish_message(
+                WaveRecord(t, self.kind, n_arr, n_arr * self.frame_bits,
+                           delivered=True)
+            )
+            if obs.enabled:
+                fields = dict(t_ms=t, kind=self.kind,
+                              bits=n_arr * self.frame_bits, count=n_arr)
+                if links:
+                    fields["links"] = self._links(slice_sel(arr_mask))
+                obs.emit("net.deliver", **fields)
+                obs.metrics.counter(
+                    "net_messages_total", "Delivered messages by kind.",
+                    labels=("kind",),
+                ).labels(kind=self.kind).inc(n_arr)
+                obs.metrics.counter(
+                    "net_bits_total", "Delivered bits by kind.",
+                    labels=("kind",),
+                ).labels(kind=self.kind).inc(n_arr * self.frame_bits)
+            n_ack_sent = int(counts[_T_ARR_ACKUP] + counts[_T_ARR_ACKLOST])
+            if n_ack_sent:
+                rel.acks_sent += n_ack_sent
+                if obs.enabled:
+                    obs.metrics.counter(
+                        "net_acks_total", "Transport ACK frames sent.",
+                    ).inc(n_ack_sent)
+                dup = n_arr - int(flags[arr_mask].sum())
+                if rel is not None and dup:
+                    rel.duplicates_suppressed += dup
+            if counts[_T_ARR_ACKLOST]:
+                drop(types == _T_ARR_ACKLOST, int(counts[_T_ARR_ACKLOST]),
+                     "net.ack", ACK_BITS, "loss")
+        if counts[_T_ACK_MID]:
+            drop(types == _T_ACK_MID, int(counts[_T_ACK_MID]), "net.ack",
+                 ACK_BITS, "in_flight", silent=True)
+        n_ack = int(counts[_T_ACK_ARR])
+        if n_ack:
+            mask = types == _T_ACK_ARR
+            t = float(tt[mask][-1])
+            net.bus.publish_message(
+                WaveRecord(t, "net.ack", n_ack, n_ack * ACK_BITS,
+                           delivered=True)
+            )
+            if obs.enabled:
+                fields = dict(t_ms=t, kind="net.ack",
+                              bits=n_ack * ACK_BITS, count=n_ack)
+                if links:
+                    fields["links"] = self._links(slice_sel(mask), swap=True)
+                obs.emit("net.deliver", **fields)
+                obs.metrics.counter(
+                    "net_messages_total", "Delivered messages by kind.",
+                    labels=("kind",),
+                ).labels(kind="net.ack").inc(n_ack)
+                obs.metrics.counter(
+                    "net_bits_total", "Delivered bits by kind.",
+                    labels=("kind",),
+                ).labels(kind="net.ack").inc(n_ack * ACK_BITS)
+        if counts[_T_EXHAUST]:
+            for p in range(a, b):
+                if self._it_type[p] == _T_EXHAUST:
+                    self._apply_item(p)
+
+
+class _ScalarItem:
+    """Per-item heap callback for the scalar reference engine."""
+
+    __slots__ = ("wave", "p")
+
+    def __init__(self, wave: ItemWave, p: int) -> None:
+        self.wave = wave
+        self.p = p
+
+    def __call__(self) -> None:
+        self.wave._apply_item(self.p)
+        self.wave._pos += 1

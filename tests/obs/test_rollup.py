@@ -222,6 +222,6 @@ class TestResourceAccounting:
 
         sim = Simulator()
         stats = sim.heap_stats()
-        assert set(stats) == {"pending", "live", "peak_pending",
-                              "scheduled_total", "events_processed",
-                              "compactions"}
+        assert set(stats) == {"pending", "entries", "dead", "live",
+                              "peak_pending", "scheduled_total",
+                              "events_processed", "compactions"}

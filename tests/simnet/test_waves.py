@@ -206,15 +206,33 @@ class TestValidation:
         with pytest.raises(ValueError):
             check_engine("warp")
 
-    def test_reliable_transport_rejected(self):
+    def test_reliable_transport_runs_in_item_mode(self):
+        # Historically rejected; now routed through the item-wave path.
         sim = Simulator()
-        net = Network(sim, transport="reliable")
+        net = Network(sim, rng=np.random.default_rng(0), transport="reliable")
+        wave = net.send_batch([0], [1], size_bits=8.0)
+        sim.run()
+        assert wave.count == 1 and wave.dropped == 0
+        assert net.reliable.acks_sent == 1
+
+    def test_serialized_uplink_with_reliable_rejected(self):
+        # Stop-and-wait retransmissions re-enter the shared uplink
+        # queue; the prefix-scan serializer cannot model that yet.
+        sim = Simulator()
+        net = Network(sim, rng=np.random.default_rng(0), bandwidth_bps=1e6,
+                      serialize_uplink=True, transport="reliable")
         with pytest.raises(ValueError):
             net.send_batch([0], [1])
 
-    def test_serialized_uplink_rejected(self):
+    def test_serialized_uplink_with_timeline_rejected(self):
+        from repro.chaos import FaultSchedule, LossWindow
+
         sim = Simulator()
-        net = Network(sim, bandwidth_bps=1e6, serialize_uplink=True)
+        net = Network(sim, rng=np.random.default_rng(0), bandwidth_bps=1e6,
+                      serialize_uplink=True)
+        net.fault_timeline = FaultSchedule(
+            [LossWindow(0.0, 10.0, 0.5)]
+        ).timeline()
         with pytest.raises(ValueError):
             net.send_batch([0], [1])
 
