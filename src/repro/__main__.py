@@ -14,6 +14,7 @@ optionally dumps the raw series to CSV::
     python -m repro prof --resources
     python -m repro chaos --plans 25
     python -m repro chaos --scale 100000 --loss 0.2
+    python -m repro campaign --rounds 10 --plans 25
     python -m repro xlayer --peers 100000 --loss 0.2 --transport reliable
     python -m repro serve-metrics --metrics-port 9100
 
@@ -42,6 +43,15 @@ instead runs one chaos-at-scale trial: a lossy reliable X-layer round
 at ``N`` peers under the deterministic scale fault schedule
 (``repro.chaos.scale``), printing transport counters and heap
 telemetry.
+
+``campaign`` runs multi-round churn campaigns (``repro.campaign``):
+each seeded plan evolves the membership between rounds
+(join/leave/rejoin), re-shards the subgroups when the k-of-n floor or
+balance bound is violated, threads checkpoints between rounds, drives a
+Sec. V membership-change drill on a live two-layer Raft deployment, and
+grades the whole trajectory against the cross-round invariants; it
+exits non-zero iff any plan violates safety, eventual recovery, the
+reshard floor, or the Raft drill.
 
 ``serve-metrics`` runs a live chaos campaign with the full
 observability stack attached — causal tracing, per-link telemetry, a
@@ -72,7 +82,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "env", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
             "fig12", "fig13", "fig14", "multilayer", "xlayer", "all",
             "report", "plan", "trace", "bench", "prof", "chaos",
-            "serve-metrics",
+            "campaign", "serve-metrics",
         ],
         help="which table/figure to regenerate ('report' writes everything "
         "to a markdown file; 'plan' runs the deployment planner; 'trace' "
@@ -80,7 +90,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "artifacts; 'bench' runs the profiled benchmark suite or, with "
         "--compare, gates two BENCH artifacts against each other; 'chaos' "
         "runs seeded fault-injection campaigns and exits non-zero on any "
-        "safety violation; 'serve-metrics' runs a live chaos campaign "
+        "safety violation; 'campaign' runs multi-round churn campaigns "
+        "with re-sharding and cross-round invariants; 'serve-metrics' "
+        "runs a live chaos campaign "
         "serving /metrics and /status over HTTP; 'xlayer' runs one "
         "X-layer round over the simulated wire at --peers scale and "
         "checks it against the Eq. 10 closed forms)",
@@ -173,8 +185,17 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="'chaos --scale'/'xlayer': reliable-transport "
                         "retransmit budget (default: 8)")
     parser.add_argument("--seed0", type=int, default=0,
-                        help="'chaos'/'serve-metrics': first plan seed "
-                        "(default: 0)")
+                        help="'chaos'/'campaign'/'serve-metrics': first "
+                        "plan seed (default: 0)")
+    parser.add_argument("--static", action="store_true",
+                        help="'campaign': disable re-sharding (leavers "
+                        "shrink their group; joiners fill the smallest)")
+    parser.add_argument("--no-raft", action="store_true",
+                        help="'campaign': skip the per-plan two-layer Raft "
+                        "membership-change drill")
+    parser.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                        help="'campaign': keep between-round checkpoints "
+                        "here (default: a temporary directory)")
     parser.add_argument("--metrics-port", type=int, default=None,
                         help="serve /metrics and /status on this port while "
                         "the command runs (0 = ephemeral; default for "
@@ -482,6 +503,32 @@ def _run_chaos(args: argparse.Namespace) -> int:
     return 1 if any(r.failed for r in reports) else 0
 
 
+def _run_campaign(args: argparse.Namespace) -> int:
+    from .campaign import format_campaign_matrix, run_campaign_matrix
+
+    profiles = args.profiles.split(",") if args.profiles else None
+    reports = run_campaign_matrix(
+        n_plans=args.plans, seed0=args.seed0, profiles=profiles,
+        rounds=args.rounds or 10,
+        n_peers=args.peers or 12,
+        parallel=args.parallel or "off",
+        transport=args.transport or "reliable",
+        reshard=not args.static,
+        raft=not args.no_raft,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    print(format_campaign_matrix(reports))
+    # The determinism handle: same seeds + profiles -> same digest, in
+    # every --parallel mode (compare across runs to check bit-identity).
+    import hashlib as _hashlib
+
+    digest = _hashlib.sha256(
+        "".join(r.fingerprint() for r in reports).encode()
+    ).hexdigest()
+    print(f"campaign fingerprint: {digest}")
+    return 1 if any(r.failed for r in reports) else 0
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     """A live chaos campaign with the full observability stack attached."""
     import time
@@ -576,6 +623,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.figure == "chaos":
         return _run_chaos(args)
+
+    if args.figure == "campaign":
+        return _run_campaign(args)
 
     if args.figure == "serve-metrics":
         return _run_serve(args)

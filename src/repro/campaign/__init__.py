@@ -1,0 +1,42 @@
+"""repro.campaign: multi-round FL campaigns under churn and faults.
+
+A campaign runs many federated rounds over an *evolving* membership: a
+round-indexed :class:`CampaignSchedule` combines per-round fault
+schedules (the :mod:`repro.chaos` machinery) with between-round churn
+events (:class:`Join`/:class:`Leave`/:class:`Rejoin`).  A re-sharding
+planner (:mod:`repro.core.resharding`) rebalances subgroups when churn
+pushes a group below the k-of-n floor or past the balance bound, the
+runner threads checkpoints between rounds, and the cross-round
+invariants (:mod:`repro.chaos.invariants`) grade the whole trajectory:
+exact-aggregate-or-nothing every round, recovery by the next quiesced
+round, and a post-reshard topology that always satisfies the
+fault-tolerance target (``python -m repro campaign``).
+"""
+
+from .runner import (
+    CAMPAIGN_PROFILES,
+    CampaignReport,
+    CampaignRoundRecord,
+    RaftDrillReport,
+    format_campaign_matrix,
+    run_campaign,
+    run_campaign_matrix,
+    run_raft_drill,
+)
+from .schedule import CampaignSchedule, ChurnEvent, Join, Leave, Rejoin
+
+__all__ = [
+    "CampaignSchedule",
+    "ChurnEvent",
+    "Join",
+    "Leave",
+    "Rejoin",
+    "CAMPAIGN_PROFILES",
+    "CampaignReport",
+    "CampaignRoundRecord",
+    "RaftDrillReport",
+    "run_campaign",
+    "run_campaign_matrix",
+    "run_raft_drill",
+    "format_campaign_matrix",
+]

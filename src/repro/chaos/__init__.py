@@ -10,8 +10,14 @@ or completion); and :func:`run_chaos_matrix` drives seeded campaigns
 across the SAC, two-layer and Raft stacks (``python -m repro chaos``).
 """
 
-from .invariants import InvariantVerdict, check_liveness, check_safety
-from .plan import PROFILES, ChaosPlan, ChaosProfile
+from .invariants import (
+    InvariantVerdict,
+    check_eventual_recovery,
+    check_liveness,
+    check_reshard_floor,
+    check_safety,
+)
+from .plan import PROFILES, ChaosPlan, ChaosProfile, ChurnDraw
 from .runner import (
     LAYERS,
     TrialReport,
@@ -46,10 +52,13 @@ __all__ = [
     "ArmedSchedule",
     "ChaosProfile",
     "ChaosPlan",
+    "ChurnDraw",
     "PROFILES",
     "InvariantVerdict",
     "check_safety",
     "check_liveness",
+    "check_eventual_recovery",
+    "check_reshard_floor",
     "LAYERS",
     "TrialReport",
     "run_sac_trial",

@@ -21,7 +21,7 @@ away; :func:`check_liveness` flags it as a hang.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Protocol, runtime_checkable
+from typing import Optional, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
@@ -97,3 +97,62 @@ def check_liveness(result: RoundResult) -> InvariantVerdict:
             False, f"hung to the round timeout: {outcome.reason}"
         )
     return InvariantVerdict(True, f"typed degradation: {outcome}")
+
+
+# ---------------------------------------------------------------------------
+# cross-round (campaign) invariants
+# ---------------------------------------------------------------------------
+
+@runtime_checkable
+class CampaignRound(Protocol):
+    """Duck type for one campaign round record (see repro.campaign)."""
+
+    index: int
+    outcome: RoundOutcome
+    #: True when the round ran with no fault schedule, no churn applied
+    #: at its boundary, and a feasible (post-reshard) topology.
+    quiesced: bool
+
+
+def check_eventual_recovery(rounds: "Sequence[CampaignRound]") -> InvariantVerdict:
+    """Any degraded round is recovered by the next quiesced round.
+
+    The campaign analogue of liveness: degradation under active churn or
+    faults is allowed, but once the schedule quiesces the very next
+    quiet round must complete.  A degraded round with no later quiesced
+    round (the campaign ended mid-storm, or collapsed below the k-of-n
+    floor for good) is vacuously satisfied — the *typed* collapse is
+    already reported per-round.
+    """
+    for i, rec in enumerate(rounds):
+        if rec.outcome.ok:
+            continue
+        quiet = next((q for q in rounds[i + 1:] if q.quiesced), None)
+        if quiet is not None and not quiet.outcome.ok:
+            return InvariantVerdict(
+                False,
+                f"round {rec.index} degraded ({rec.outcome.status}) and the "
+                f"next quiesced round {quiet.index} did not recover "
+                f"({quiet.outcome.status}: {quiet.outcome.reason})",
+            )
+    return InvariantVerdict(True, "every degraded round recovered on quiesce")
+
+
+def check_reshard_floor(plan, k: int) -> InvariantVerdict:
+    """A reshard plan never produces a group below the k-of-n floor.
+
+    ``plan`` is a :class:`repro.core.resharding.ReshardPlan` (duck-typed
+    on ``.topology`` to keep this module free of a core dependency).
+    """
+    sizes = plan.topology.group_sizes
+    if not sizes:
+        return InvariantVerdict(False, "reshard plan has no groups")
+    if min(sizes) < k:
+        return InvariantVerdict(
+            False,
+            f"reshard produced a group of {min(sizes)} < k={k} "
+            f"(sizes {sizes})",
+        )
+    return InvariantVerdict(
+        True, f"all {len(sizes)} group(s) at or above the k={k} floor"
+    )

@@ -51,6 +51,16 @@ class ChaosProfile:
     delay_spike_prob: float = 0.0
     extra_delay_range: tuple[float, float] = (30.0, 120.0)
     horizon_ms: float = 120.0
+    # -- between-round churn (campaigns only; a single chaos round never
+    #    reads these, so existing profiles keep their exact rng streams).
+    #: per-present-peer probability of leaving at a round boundary.
+    leave_rate: float = 0.0
+    #: per-slot probability that a brand-new peer joins (see max_joins).
+    join_rate: float = 0.0
+    #: per-departed-peer probability of rejoining at a round boundary.
+    rejoin_prob: float = 0.0
+    #: join slots drawn per boundary (each succeeds with join_rate).
+    max_joins: int = 2
 
 
 #: Named presets selectable from the CLI (``repro chaos --profile``).
@@ -74,6 +84,23 @@ PROFILES: dict[str, ChaosProfile] = {
         partition_prob=0.2, delay_spike_prob=0.3,
     ),
 }
+
+
+@dataclass(frozen=True)
+class ChurnDraw:
+    """One round boundary's sampled membership churn (stable peer ids).
+
+    ``n_joins`` counts brand-new peers; the caller mints their ids (the
+    sampler cannot know the campaign's id high-water mark).
+    """
+
+    leaves: tuple[int, ...]
+    rejoins: tuple[int, ...]
+    n_joins: int
+
+    @property
+    def quiet(self) -> bool:
+        return not self.leaves and not self.rejoins and self.n_joins == 0
 
 
 @dataclass(frozen=True)
@@ -180,3 +207,49 @@ class ChaosPlan:
             events.append(DelaySpike(start, end, extra, slow))
 
         return cls(profile=profile.name, schedule=FaultSchedule(events))
+
+    @staticmethod
+    def sample_churn(
+        rng: np.random.Generator,
+        profile: ChaosProfile | str,
+        present: Sequence[int],
+        departed: Sequence[int] = (),
+        protected: Iterable[int] = (),
+        max_leaves: int | None = None,
+    ) -> ChurnDraw:
+        """Draw one round boundary's membership churn from ``profile``.
+
+        Deterministic in the generator state, like :meth:`sample`: peers
+        are considered in sorted stable-id order.  ``protected`` peers
+        never leave; ``max_leaves`` caps departures so the caller can
+        keep at least ``k`` peers alive (pass None for no cap).
+        """
+        if isinstance(profile, str):
+            try:
+                profile = PROFILES[profile]
+            except KeyError:
+                raise ValueError(
+                    f"unknown chaos profile {profile!r}; "
+                    f"expected one of {sorted(PROFILES)}"
+                ) from None
+        protected_set = frozenset(protected)
+        leaves: list[int] = []
+        for pid in sorted(present):
+            if rng.random() >= profile.leave_rate:
+                continue
+            if pid in protected_set:
+                continue
+            if max_leaves is not None and len(leaves) >= max_leaves:
+                continue
+            leaves.append(pid)
+        rejoins = [
+            pid for pid in sorted(departed)
+            if rng.random() < profile.rejoin_prob
+        ]
+        n_joins = sum(
+            1 for _ in range(max(0, profile.max_joins))
+            if rng.random() < profile.join_rate
+        )
+        return ChurnDraw(
+            leaves=tuple(leaves), rejoins=tuple(rejoins), n_joins=n_joins
+        )

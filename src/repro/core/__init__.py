@@ -10,7 +10,14 @@
 - :mod:`.multi_layer` — the X-layer generalization of Sec. VII-C.
 """
 
-from .checkpoint import Checkpoint, load_checkpoint, save_checkpoint
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+    topology_snapshot,
+)
 from .costs import (
     fedavg_only_cost_bits,
     multi_layer_cost_bits,
@@ -36,6 +43,14 @@ from .latency import (
 )
 from .multi_layer import MultiLayerTopology, multi_layer_aggregate
 from .planner import Plan, PlanRequirements, enumerate_plans, recommend
+from .resharding import (
+    Move,
+    ReshardError,
+    ReshardPlan,
+    dense_topology,
+    needs_reshard,
+    plan_reshard,
+)
 from .session import SessionConfig, run_session
 from .topology import Topology
 from .two_layer import AggregateResult, TwoLayerAggregator
@@ -64,8 +79,17 @@ __all__ = [
     "multi_layer_aggregate",
     "multi_layer_mixed_cost_bits",
     "Checkpoint",
+    "CheckpointError",
+    "CHECKPOINT_VERSION",
     "save_checkpoint",
     "load_checkpoint",
+    "topology_snapshot",
+    "Move",
+    "ReshardError",
+    "ReshardPlan",
+    "dense_topology",
+    "needs_reshard",
+    "plan_reshard",
     "ft_sac_latency_ms",
     "one_layer_sac_latency_ms",
     "two_layer_round_latency_ms",

@@ -205,6 +205,35 @@ def _run_two_layer_chaos(params: dict, seed: int) -> dict:
     }
 
 
+def _run_campaign_churn(params: dict, seed: int) -> dict:
+    from ..campaign import run_campaign
+
+    # A multi-round churn campaign (wire layer only — the Raft drill's
+    # wall cost lives in the campaign tests): membership evolves between
+    # rounds, the re-sharding planner repairs the grouping, checkpoints
+    # thread the global model through.  The sim block prices a whole
+    # campaign and pins its determinism: outcomes, reshards, traffic and
+    # the final model are all seed-exact.
+    report = run_campaign(
+        seed=seed, profile=params["profile"], rounds=params["rounds"],
+        n_peers=params["n_peers"], group_size=params["group_size"],
+        k=params["k"], model_params=params["model_params"],
+        raft=False,
+    )
+    assert not report.failed
+    return {
+        "rounds_completed": sum(1 for r in report.rounds if r.outcome.ok),
+        "rounds_degraded": sum(1 for r in report.rounds if not r.outcome.ok),
+        "reshards": report.reshards,
+        "reshard_moves": sum(r.reshard_moves for r in report.rounds),
+        "joins": sum(r.joins for r in report.rounds),
+        "leaves": sum(r.leaves for r in report.rounds),
+        "bits": sum(r.bits for r in report.rounds),
+        "messages": sum(r.messages for r in report.rounds),
+        "final_weights_sum": float(np.sum(report.final_weights)),
+    }
+
+
 def _run_obs_scale(params: dict, seed: int) -> dict:
     from ..core.topology import Topology
     from ..core.wire_round import run_two_layer_wire_round
@@ -516,6 +545,20 @@ def build_suite(
          "crash_ms": 10.0, "recover_ms": 200.0,
          "lossy_until_ms": 150.0, "loss_rate": 0.15},
         _run_two_layer_chaos,
+    ))
+    # A whole churn campaign: joins/leaves between rounds, re-sharding,
+    # checkpoint threading.  Prices the campaign orchestrator and pins
+    # the multi-round trajectory's determinism in the sim fingerprint.
+    campaign = (
+        {"rounds": 6, "n_peers": 9, "group_size": 3, "k": 2,
+         "model_params": 16}
+        if smoke else
+        {"rounds": 10, "n_peers": 12, "group_size": 4, "k": 3,
+         "model_params": 32}
+    )
+    suite.append(Scenario(
+        "campaign_churn", seed,
+        {**campaign, "profile": "mixed"}, _run_campaign_churn,
     ))
     suite.append(Scenario("failover", seed, failover, _run_failover))
     suite.append(Scenario("nn_epoch", seed, nn, _run_nn_epoch))

@@ -51,6 +51,7 @@ __all__ = ["FlightRecorder", "DEFAULT_TRIGGERS"]
 DEFAULT_TRIGGERS: Tuple[str, ...] = (
     "chaos.safety_violation",
     "net.retransmit_exhausted",
+    "campaign.invariant_violation",
 )
 
 #: default ring capacity (events).

@@ -78,6 +78,11 @@ class StatusBoard:
         self.armed_chaos: Optional[dict] = None
         self.safety_violations = 0
         self.retransmit_exhaustions = 0
+        # -- campaign (multi-round churn) section ------------------------
+        self.campaign_rounds: Dict[str, int] = {}
+        self.campaign_last: Optional[dict] = None
+        self.campaign_reshards = 0
+        self.campaign_invariant_violations = 0
 
     # ----------------------------------------------------------- subscription
     def attach(self, bus: EventBus) -> "StatusBoard":
@@ -130,6 +135,22 @@ class StatusBoard:
             self.safety_violations += 1
         elif name == "net.retransmit_exhausted":
             self.retransmit_exhaustions += 1
+        elif name == "campaign.round":
+            outcome = str(event.fields.get("outcome"))
+            self.campaign_rounds[outcome] = (
+                self.campaign_rounds.get(outcome, 0) + 1
+            )
+            self.campaign_last = {
+                "index": event.fields.get("index"),
+                "outcome": outcome,
+                "n_alive": event.fields.get("n_alive"),
+                "groups": event.fields.get("groups"),
+                "resharded": event.fields.get("resharded"),
+            }
+        elif name == "campaign.reshard":
+            self.campaign_reshards += 1
+        elif name == "campaign.invariant_violation":
+            self.campaign_invariant_violations += 1
 
     # -------------------------------------------------------------- read side
     def snapshot(self) -> dict:
@@ -149,6 +170,12 @@ class StatusBoard:
             "armed_chaos": self.armed_chaos,
             "safety_violations": self.safety_violations,
             "retransmit_exhaustions": self.retransmit_exhaustions,
+            "campaign": {
+                "rounds_by_outcome": dict(sorted(self.campaign_rounds.items())),
+                "last_round": self.campaign_last,
+                "reshards": self.campaign_reshards,
+                "invariant_violations": self.campaign_invariant_violations,
+            },
         }
 
 

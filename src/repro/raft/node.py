@@ -477,7 +477,10 @@ class RaftNode:
         for n in range(self.log.last_index, self.commit_index, -1):
             if self.log.term_at(n) != self.current_term:
                 break  # only current-term entries commit directly
-            replicated = 1 + sum(
+            # A leader that has been removed from the configuration no
+            # longer counts itself toward the quorum (Raft thesis
+            # Sec. 4.2.2) — it still commits C_new, via the others.
+            replicated = (1 if self.node_id in self.members else 0) + sum(
                 1
                 for p, m in self._match_index.items()
                 if p in self.members and m >= n
@@ -490,15 +493,26 @@ class RaftNode:
                 break
 
     def _apply_committed(self) -> None:
+        removed_self = False
         while self.last_applied < self.commit_index:
             self.last_applied += 1
             entry = self.log.get(self.last_applied)
             cmd = entry.command
             if isinstance(cmd, tuple) and cmd and cmd[0] == NOOP:
                 continue
+            if (
+                isinstance(cmd, tuple) and cmd
+                and cmd[0] == REMOVE_SERVER and cmd[1] == self.node_id
+            ):
+                removed_self = True
             if self.on_apply is not None:
                 self.on_apply(self.last_applied, entry)
         self._maybe_compact()
+        if removed_self and self.role is Role.LEADER:
+            # Removed-leader step-down (Raft thesis Sec. 4.2.2): the
+            # leader serves until C_new commits, then stops leading; a
+            # non-member stays passive, so no election timer re-arms.
+            self._step_down(self.current_term)
 
     # -------------------------------------------------------------- snapshots
     def _maybe_compact(self) -> None:

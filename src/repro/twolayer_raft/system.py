@@ -190,6 +190,9 @@ class TwoLayerRaftSystem:
         self.events: list[SystemEvent] = []
 
         self.peers: dict[int, PeerProcess] = {}
+        #: Live subgroup membership (mutated by depart/move_peer/add_peer
+        #: churn); ``self.topology`` stays the immutable bootstrap layout.
+        self.group_members: list[list[int]] = [list(g) for g in topology.groups]
         for gi, group in enumerate(topology.groups):
             for pid in group:
                 self.peers[pid] = PeerProcess(pid, self.sim, self.network, self, gi)
@@ -392,7 +395,7 @@ class TwoLayerRaftSystem:
                     # (never ourselves — a deposed-but-alive fed leader
                     # steps down through Raft, not via self-eviction).
                     group = set(
-                        self.topology.groups[self.peers[msg.peer_id].group_index]
+                        self.group_members[self.peers[msg.peer_id].group_index]
                     )
                     for old in sorted(fed.members & group):
                         if old != peer.node_id:
@@ -436,7 +439,7 @@ class TwoLayerRaftSystem:
         """The unique alive leader of subgroup ``gi``, or None."""
         leaders = [
             pid
-            for pid in self.topology.groups[gi]
+            for pid in self.group_members[gi]
             if not self.network.is_crashed(pid)
             and self.peers[pid].sub_raft is not None
             and self.peers[pid].sub_raft.is_leader
@@ -467,7 +470,11 @@ class TwoLayerRaftSystem:
                 return False
             return all(
                 self.subgroup_leader(gi) is not None
-                for gi in range(self.topology.n_groups)
+                for gi in range(len(self.group_members))
+                if any(
+                    not self.network.is_crashed(pid)
+                    for pid in self.group_members[gi]
+                )
             )
 
         step = 10.0
@@ -476,3 +483,156 @@ class TwoLayerRaftSystem:
                 return
             self.sim.run_until(self.sim.now + step)
         raise TimeoutError("two-layer Raft did not stabilize in time")
+
+    # ------------------------------------------------- membership churn (Sec. V)
+    def depart(self, peer_id: int) -> None:
+        """Permanent departure (Leave churn): the peer never returns.
+
+        The network-level crash is the observable signal; if the peer
+        was a subgroup leader, Sec. V-A1 recovery kicks in (re-election,
+        FedAvg re-join, and — in cleanup mode — eviction of its seat).
+        The peer stays in ``group_members`` until its subgroup's Raft
+        configuration drops it; callers that care run
+        :meth:`reap_departed` after the dust settles.
+        """
+        if peer_id not in self.peers:
+            raise ValueError(f"unknown peer {peer_id}")
+        self.network.crash(peer_id)
+
+    def reap_departed(self, peer_id: int) -> bool:
+        """Drop a departed peer from its subgroup's Raft configuration.
+
+        Single-server ``remove_server`` through the subgroup leader;
+        returns True once the configuration no longer lists the peer.
+        """
+        peer = self.peers.get(peer_id)
+        if peer is None:
+            return True
+        gi = peer.group_index
+        deadline = self.sim.now + 30_000.0
+        while self.sim.now < deadline:
+            leader = self.subgroup_leader(gi)
+            if leader is not None:
+                sub = self.peers[leader].sub_raft
+                if peer_id not in sub.members:
+                    if peer_id in self.group_members[gi]:
+                        self.group_members[gi].remove(peer_id)
+                    return True
+                sub.remove_server(peer_id)
+            self.run_for(200.0)
+        return False
+
+    def _spawn_sub_endpoint(
+        self, peer: PeerProcess, gi: int, members: list[int]
+    ) -> None:
+        """Attach a fresh passive subgroup-Raft endpoint bound to ``gi``."""
+        peer.group_index = gi
+        peer.sub_raft = RaftNode(
+            transport=_EndpointTransport(peer, f"sub{gi}"),
+            members=members,
+            timing=self.timing,
+            rng=np.random.default_rng(self.rng.integers(2**63)),
+            on_apply=self._make_sub_apply(peer),
+            on_leader=self._make_sub_leader_cb(peer),
+            trace_kind=f"raft.sub{gi}",
+        )
+        peer.sub_raft.start()
+
+    def move_peer(self, peer_id: int, to_group: int, max_ms: float = 30_000.0) -> bool:
+        """Re-shard a follower into another subgroup, live.
+
+        The paper's single-server membership change, twice: the source
+        subgroup's leader commits ``remove_server``, then the peer's old
+        endpoint is retired, a passive endpoint for the target subgroup
+        spun up, and the target leader commits ``add_server``.  Returns
+        True once the peer is a member of the target configuration.
+        """
+        peer = self.peers.get(peer_id)
+        if peer is None:
+            raise ValueError(f"unknown peer {peer_id}")
+        from_group = peer.group_index
+        if from_group == to_group:
+            return True
+        if self.network.is_crashed(peer_id):
+            raise ValueError(f"peer {peer_id} is crashed; recover it first")
+        if peer_id == self.subgroup_leader(from_group):
+            raise ValueError(
+                f"peer {peer_id} leads subgroup {from_group}; "
+                "transfer leadership before moving it"
+            )
+        deadline = self.sim.now + max_ms
+
+        # 1. Leave the source subgroup's configuration.  A planned move
+        #    retires the old endpoint *first*: a removed server that
+        #    keeps running never learns of its removal (the leader stops
+        #    replicating to it) and its election timer would disrupt the
+        #    source subgroup (Raft paper Sec. 4.2.3).
+        if peer.sub_raft is not None:
+            peer.sub_raft.stop()
+        removed = False
+        while self.sim.now < deadline:
+            leader = self.subgroup_leader(from_group)
+            if leader is not None:
+                sub = self.peers[leader].sub_raft
+                if peer_id not in sub.members:
+                    removed = True
+                    break
+                sub.remove_server(peer_id)
+            self.run_for(200.0)
+        if not removed:
+            return False
+        if peer_id in self.group_members[from_group]:
+            self.group_members[from_group].remove(peer_id)
+        self.group_members[to_group].append(peer_id)
+
+        # 2. Join the target subgroup as a passive endpoint; the target
+        #    leader's AddServer entry activates it (config-on-append).
+        seed_leader = self.subgroup_leader(to_group)
+        known = (
+            list(self.peers[seed_leader].sub_raft.members)
+            if seed_leader is not None
+            else [p for p in self.group_members[to_group] if p != peer_id]
+        )
+        self._spawn_sub_endpoint(peer, to_group, known)
+        while self.sim.now < deadline:
+            leader = self.subgroup_leader(to_group)
+            if leader is not None:
+                sub = self.peers[leader].sub_raft
+                if peer_id in sub.members and peer.sub_raft.is_member:
+                    return True
+                sub.add_server(peer_id)
+            self.run_for(200.0)
+        return False
+
+    def add_peer(self, new_id: int, to_group: int, max_ms: float = 30_000.0) -> bool:
+        """A brand-new peer joins subgroup ``to_group`` (Join churn).
+
+        Spawns the process, hands it the current FedAvg configuration,
+        and drives the target leader's single-server ``add_server``
+        until the new peer is an active member.
+        """
+        if new_id in self.peers:
+            raise ValueError(f"peer id {new_id} already exists")
+        if not 0 <= to_group < len(self.group_members):
+            raise ValueError(f"no subgroup {to_group}")
+        peer = PeerProcess(new_id, self.sim, self.network, self, to_group)
+        self.peers[new_id] = peer
+        self.group_members[to_group].append(new_id)
+        seed_leader = self.subgroup_leader(to_group)
+        if seed_leader is not None:
+            peer.fed_config = tuple(self.peers[seed_leader].fed_config)
+            known = list(self.peers[seed_leader].sub_raft.members)
+        else:
+            peer.fed_config = tuple(self.topology.leaders)
+            known = [p for p in self.group_members[to_group] if p != new_id]
+        self._spawn_sub_endpoint(peer, to_group, known)
+        deadline = self.sim.now + max_ms
+        while self.sim.now < deadline:
+            leader = self.subgroup_leader(to_group)
+            if leader is not None:
+                sub = self.peers[leader].sub_raft
+                if new_id in sub.members and peer.sub_raft.is_member:
+                    return True
+                sub.add_server(new_id)
+            self.run_for(200.0)
+        return False

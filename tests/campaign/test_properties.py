@@ -1,0 +1,166 @@
+"""Hypothesis suite over seeded churn plans (the ISSUE's property gate).
+
+For ANY churn rates, group sizes and thresholds in the sampled space:
+
+- **safety** — no campaign round ever grades ``fail`` (a completed
+  round is bit-identical to its fault-free reference; a degraded round
+  exposes nothing);
+- **eventual recovery** — every degraded round is recovered by the next
+  quiesced round (or the violation is typed, never silent);
+- **reshard floor** — :func:`repro.core.resharding.plan_reshard` never
+  emits a group below the k-of-n floor, for any grouping it accepts.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign import run_campaign
+from repro.campaign.schedule import sample_campaign_schedule
+from repro.chaos import PROFILES, ChaosPlan, check_reshard_floor
+from repro.core.resharding import (
+    ReshardError,
+    dense_topology,
+    needs_reshard,
+    plan_reshard,
+)
+
+pytestmark = pytest.mark.chaos
+
+
+def churn_profile(leave_rate: float, join_rate: float, rejoin_prob: float):
+    return replace(
+        PROFILES["mixed"], leave_rate=leave_rate, join_rate=join_rate,
+        rejoin_prob=rejoin_prob,
+    )
+
+
+@st.composite
+def groupings(draw):
+    """A stable-id grouping: 1-5 groups of 1-7 members, ids arbitrary."""
+    n_groups = draw(st.integers(1, 5))
+    sizes = [draw(st.integers(1, 7)) for _ in range(n_groups)]
+    ids = draw(
+        st.lists(
+            st.integers(0, 10_000), min_size=sum(sizes),
+            max_size=sum(sizes), unique=True,
+        )
+    )
+    groups, at = [], 0
+    for size in sizes:
+        groups.append(tuple(ids[at:at + size]))
+        at += size
+    return tuple(groups)
+
+
+class TestReshardFloorProperty:
+    @given(groups=groupings(), k=st.integers(2, 5))
+    @settings(max_examples=80, deadline=None)
+    def test_plan_never_below_k_floor(self, groups, k):
+        """plan_reshard either raises the typed error or satisfies the
+        floor — never a quiet under-k group."""
+        try:
+            plan = plan_reshard(groups, k)
+        except ReshardError:
+            assert sum(len(g) for g in groups) < max(k, 2)
+            return
+        assert min(plan.topology.group_sizes) >= k
+        assert check_reshard_floor(plan, k).ok
+        # Conservation: every surviving peer lands in exactly one group.
+        flat = sorted(pid for g in plan.groups for pid in g)
+        assert flat == sorted(pid for g in groups for pid in g)
+        # The repaired grouping is acceptable by its own trigger.
+        assert needs_reshard(plan.groups, k) is None
+
+    @given(groups=groupings(), k=st.integers(2, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_moves_only_name_real_peers(self, groups, k):
+        try:
+            plan = plan_reshard(groups, k)
+        except ReshardError:
+            return
+        members = {pid for g in groups for pid in g}
+        for move in plan.moves:
+            assert move.peer in members
+            assert 0 <= move.to_group < len(plan.groups)
+            assert move.peer in plan.groups[move.to_group]
+
+    @given(groups=groupings())
+    @settings(max_examples=40, deadline=None)
+    def test_dense_topology_is_contiguous(self, groups):
+        topo = dense_topology(groups)
+        flat = sorted(pid for g in topo.groups for pid in g)
+        assert flat == list(range(sum(len(g) for g in groups)))
+
+
+class TestChurnScheduleProperty:
+    @given(
+        leave_rate=st.floats(0.0, 0.6),
+        join_rate=st.floats(0.0, 0.8),
+        rejoin_prob=st.floats(0.0, 1.0),
+        n_peers=st.integers(4, 16),
+        min_alive=st.integers(2, 4),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sampled_schedules_validate_and_respect_floor(
+        self, leave_rate, join_rate, rejoin_prob, n_peers, min_alive, seed
+    ):
+        """Any sampled trajectory passes CampaignSchedule's replay
+        validation and never drops below min_alive."""
+        profile = churn_profile(leave_rate, join_rate, rejoin_prob)
+        schedule = sample_campaign_schedule(
+            np.random.default_rng(seed), profile, 8, range(n_peers),
+            min_alive=min_alive,
+        )
+        for r in range(schedule.rounds):
+            assert len(schedule.members_entering(r)) >= min(min_alive, n_peers)
+
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(4, 12),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_fault_plan_sampling_is_deterministic(self, seed, n):
+        p = PROFILES["mixed"]
+        a = ChaosPlan.sample(np.random.default_rng(seed), p, nodes=range(n))
+        b = ChaosPlan.sample(np.random.default_rng(seed), p, nodes=range(n))
+        assert a == b
+
+
+class TestCampaignProperty:
+    @given(
+        leave_rate=st.floats(0.0, 0.4),
+        join_rate=st.floats(0.0, 0.6),
+        group_size=st.integers(3, 5),
+        k=st.integers(2, 3),
+        seed=st.integers(0, 1_000),
+        reshard=st.booleans(),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_safety_and_recovery_under_arbitrary_churn(
+        self, leave_rate, join_rate, group_size, k, seed, reshard
+    ):
+        """The full orchestrator, fuzzed: any (rates x sizes x k) keeps
+        every round safe and every degradation recovered-or-typed."""
+        profile = churn_profile(leave_rate, join_rate, rejoin_prob=0.5)
+        report = run_campaign(
+            seed=seed, profile=profile, rounds=5,
+            n_peers=3 * group_size, group_size=group_size, k=k,
+            model_params=8, raft=False, reshard=reshard,
+        )
+        assert report.safety_failures == 0
+        assert report.recovery.ok, report.recovery.detail
+        assert report.reshard_floor.ok, report.reshard_floor.detail
+        for rec in report.rounds:
+            if not rec.outcome.ok:
+                assert rec.outcome.reason, "degradations must be typed"
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,153 @@
+"""The checkpoint robustness contract: versioning, typed errors, atomicity.
+
+Happy-path roundtrips live in ``test_checkpoint.py``; this module covers
+the hardening added for campaign runs — every defect surfaces as a typed
+:class:`CheckpointError`, archives are versioned, and writes are atomic.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import Topology
+from repro.core.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+    topology_snapshot,
+)
+
+
+class TestTypedErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="not found"):
+            load_checkpoint(str(tmp_path / "nope.npz"))
+
+    def test_corrupt_archive(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            load_checkpoint(str(path))
+
+    def test_truncated_archive(self, tmp_path):
+        path = str(tmp_path / "trunc.npz")
+        save_checkpoint(path, np.ones(64), next_round=3)
+        blob = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(blob[: len(blob) // 2])
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_missing_arrays(self, tmp_path):
+        path = str(tmp_path / "partial.npz")
+        np.savez(path, global_weights=np.ones(4))
+        with pytest.raises(CheckpointError, match="missing arrays"):
+            load_checkpoint(path)
+
+    def test_corrupt_metadata_json(self, tmp_path):
+        path = str(tmp_path / "meta.npz")
+        np.savez(
+            path,
+            global_weights=np.ones(4),
+            next_round=np.int64(0),
+            metadata="{not json",
+            version=np.int64(CHECKPOINT_VERSION),
+        )
+        with pytest.raises(CheckpointError, match="metadata"):
+            load_checkpoint(path)
+
+
+class TestVersioning:
+    def test_version_embedded_and_read_back(self, tmp_path):
+        path = str(tmp_path / "v.npz")
+        save_checkpoint(path, np.ones(4), next_round=1)
+        ckpt = load_checkpoint(path)
+        assert ckpt.version == CHECKPOINT_VERSION
+
+    def test_future_version_rejected(self, tmp_path):
+        path = str(tmp_path / "future.npz")
+        np.savez(
+            path,
+            global_weights=np.ones(4),
+            next_round=np.int64(0),
+            metadata="{}",
+            version=np.int64(CHECKPOINT_VERSION + 1),
+        )
+        with pytest.raises(CheckpointError, match="unknown version"):
+            load_checkpoint(path)
+
+    def test_version_zero_archive_still_loads(self, tmp_path):
+        # Pre-hardening archives carried no version array.
+        path = str(tmp_path / "v0.npz")
+        np.savez(
+            path,
+            global_weights=np.arange(4.0),
+            next_round=np.int64(9),
+            metadata="{}",
+        )
+        ckpt = load_checkpoint(path)
+        assert ckpt.version == 0
+        assert ckpt.next_round == 9
+
+
+class TestTopologySnapshot:
+    def test_roundtrip_through_metadata(self, tmp_path):
+        topo = Topology.by_group_size(9, 3)
+        path = str(tmp_path / "topo.npz")
+        save_checkpoint(
+            path, np.ones(8), next_round=2, topology=topo,
+            members=(2, 3, 5, 7, 11, 13, 17, 19, 23),
+        )
+        ckpt = load_checkpoint(path)
+        assert ckpt.topology is not None
+        assert ckpt.topology.groups == topo.groups
+        assert ckpt.topology.leaders == topo.leaders
+        assert ckpt.members == (2, 3, 5, 7, 11, 13, 17, 19, 23)
+
+    def test_absent_snapshot_reads_as_none(self, tmp_path):
+        path = str(tmp_path / "plain.npz")
+        save_checkpoint(path, np.ones(4), next_round=0)
+        ckpt = load_checkpoint(path)
+        assert ckpt.topology is None
+        assert ckpt.members is None
+
+    def test_snapshot_helper_is_json_serializable(self):
+        import json
+
+        snap = topology_snapshot(Topology.by_group_size(6, 3), (0, 1, 2, 3, 4, 5))
+        json.dumps(snap)  # must not raise
+        assert snap["members"] == [0, 1, 2, 3, 4, 5]
+
+
+class TestAtomicWrite:
+    def test_failed_save_preserves_previous_checkpoint(self, tmp_path):
+        path = str(tmp_path / "atomic.npz")
+        save_checkpoint(path, np.full(16, 1.0), next_round=1)
+
+        class Poison:
+            """An object np.savez cannot serialize without pickling."""
+            def __reduce__(self):
+                raise RuntimeError("unpicklable")
+
+        with pytest.raises(Exception):
+            save_checkpoint(path, np.array([Poison()], dtype=object),
+                            next_round=2)
+        # The original survives intact; no tmp droppings remain.
+        ckpt = load_checkpoint(path)
+        assert ckpt.next_round == 1
+        np.testing.assert_array_equal(ckpt.global_weights, np.full(16, 1.0))
+        leftovers = [f for f in os.listdir(tmp_path) if f.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_save_creates_parent_directories(self, tmp_path):
+        path = str(tmp_path / "a" / "b" / "deep.npz")
+        final = save_checkpoint(path, np.ones(4), next_round=0)
+        assert os.path.exists(final)
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,164 @@
+"""Live membership churn on the two-layer Raft deployment (Sec. V).
+
+The campaign's Raft drill (`repro.campaign.run_raft_drill`) leans on
+these primitives: permanent departure (`depart` + `reap_departed`),
+live re-sharding of a follower between subgroups (`move_peer`), and a
+brand-new peer joining a running deployment (`add_peer`) — all via the
+paper's single-server membership changes, under `remove_replaced_leaders`
+cleanup so departed leaders lose their FedAvg seat.
+"""
+
+import pytest
+
+from repro.core import Topology
+from repro.twolayer_raft import TwoLayerRaftSystem
+
+
+def build(seed=0):
+    return TwoLayerRaftSystem(
+        Topology.by_group_count(9, 3),
+        timeout_base_ms=50.0,
+        seed=seed,
+        remove_replaced_leaders=True,
+    )
+
+
+def stable(seed=0):
+    system = build(seed)
+    system.stabilize()
+    system.run_for(1_000.0)
+    return system
+
+
+class TestGroupMembers:
+    def test_tracks_initial_topology(self):
+        system = build()
+        assert [sorted(g) for g in system.group_members] == [
+            sorted(g) for g in system.topology.groups
+        ]
+
+    def test_subgroup_leader_reads_group_members(self):
+        system = stable()
+        for gi in range(3):
+            lid = system.subgroup_leader(gi)
+            assert lid in system.group_members[gi]
+
+
+class TestDepart:
+    def test_depart_follower_and_reap(self):
+        system = stable(seed=2)
+        gi = 1
+        lid = system.subgroup_leader(gi)
+        follower = next(p for p in system.group_members[gi] if p != lid)
+        system.depart(follower)
+        # Departure keeps the seat until reaped.
+        assert follower in system.group_members[gi]
+        assert system.reap_departed(follower)
+        assert follower not in system.group_members[gi]
+        sub = system.peers[system.subgroup_leader(gi)].sub_raft
+        assert follower not in sub.members
+        assert len(sub.members) == 2
+
+    def test_depart_leader_triggers_sec_v_recovery(self):
+        system = stable(seed=3)
+        fed = system.fed_leader()
+        gi = next(
+            g for g in range(3) if system.subgroup_leader(g) not in (None, fed)
+        )
+        victim = system.subgroup_leader(gi)
+        system.depart(victim)
+        system.stabilize(60_000.0)
+        new_lid = system.subgroup_leader(gi)
+        assert new_lid is not None and new_lid != victim
+        # Cleanup mode evicts the departed leader's FedAvg seat.
+        deadline = system.sim.now + 30_000.0
+        while system.sim.now < deadline:
+            fed_lid = system.fed_leader()
+            if fed_lid is not None:
+                members = system.fed_members_of(fed_lid)
+                if new_lid in members and victim not in members:
+                    break
+            system.run_for(500.0)
+        members = system.fed_members_of(system.fed_leader())
+        assert new_lid in members
+        assert victim not in members
+
+    def test_depart_unknown_peer_rejected(self):
+        with pytest.raises(ValueError, match="unknown peer"):
+            stable().depart(99)
+
+
+class TestMovePeer:
+    def test_moves_follower_between_subgroups(self):
+        system = stable(seed=4)
+        lid = system.subgroup_leader(0)
+        mover = next(p for p in system.group_members[0] if p != lid)
+        assert system.move_peer(mover, 2)
+        assert mover not in system.group_members[0]
+        assert mover in system.group_members[2]
+        assert system.peers[mover].group_index == 2
+        # Both configurations agree.
+        src = system.peers[system.subgroup_leader(0)].sub_raft
+        dst = system.peers[system.subgroup_leader(2)].sub_raft
+        assert mover not in src.members
+        assert mover in dst.members
+        assert system.peers[mover].sub_raft.is_member
+        # Source subgroup still has a working quorum.
+        system.stabilize(60_000.0)
+        assert system.subgroup_leader(0) is not None
+
+    def test_move_to_same_group_is_noop(self):
+        system = stable(seed=5)
+        lid = system.subgroup_leader(1)
+        mover = next(p for p in system.group_members[1] if p != lid)
+        assert system.move_peer(mover, 1)
+        assert mover in system.group_members[1]
+
+    def test_refuses_to_move_a_leader(self):
+        system = stable(seed=6)
+        lid = system.subgroup_leader(0)
+        with pytest.raises(ValueError, match="leads subgroup"):
+            system.move_peer(lid, 1)
+
+    def test_refuses_to_move_a_crashed_peer(self):
+        system = stable(seed=7)
+        lid = system.subgroup_leader(0)
+        follower = next(p for p in system.group_members[0] if p != lid)
+        system.crash(follower)
+        with pytest.raises(ValueError, match="crashed"):
+            system.move_peer(follower, 1)
+
+
+class TestAddPeer:
+    def test_new_peer_joins_live_subgroup(self):
+        system = stable(seed=8)
+        assert system.add_peer(100, 1)
+        assert 100 in system.group_members[1]
+        sub = system.peers[system.subgroup_leader(1)].sub_raft
+        assert 100 in sub.members
+        assert system.peers[100].sub_raft.is_member
+        assert len(sub.members) == 4
+
+    def test_duplicate_id_rejected(self):
+        system = stable(seed=9)
+        with pytest.raises(ValueError, match="already exists"):
+            system.add_peer(0, 1)
+
+    def test_unknown_group_rejected(self):
+        system = stable(seed=10)
+        with pytest.raises(ValueError, match="no subgroup"):
+            system.add_peer(100, 7)
+
+    def test_added_peer_can_later_move(self):
+        # Join then re-shard: the lifecycle the campaign drill exercises.
+        system = stable(seed=11)
+        assert system.add_peer(100, 0)
+        assert system.move_peer(100, 2)
+        assert 100 in system.group_members[2]
+        assert system.peers[100].sub_raft.is_member
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(pytest.main([__file__, "-q"]))
